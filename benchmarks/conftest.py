@@ -1,0 +1,35 @@
+"""Benchmark fixtures.
+
+The corpus and the full study run once per session (expensive); each
+benchmark then times its table/figure computation and asserts the paper's
+shape on the results.  ``REPRO_BENCH_SCALE`` (default 0.25 — ~1,290 apps)
+controls corpus size; set it to 1.0 for the paper-scale run.
+"""
+
+import os
+
+import pytest
+
+from repro.core.analysis import Study
+from repro.corpus import CorpusConfig, CorpusGenerator
+
+BENCH_SEED = 2022
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    config = CorpusConfig(seed=BENCH_SEED)
+    if BENCH_SCALE != 1.0:
+        config = config.scaled(BENCH_SCALE)
+    return CorpusGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def study(corpus):
+    return Study(corpus)
+
+
+@pytest.fixture(scope="session")
+def results(study):
+    return study.run()

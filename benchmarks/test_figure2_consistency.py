@@ -1,0 +1,37 @@
+"""Figure 2 — Common-dataset consistency classes.
+
+Paper (n=575): 69 apps pin on at least one platform; 27 pin on both
+(15 consistent, of which 13 identical; 6 inconsistent; 6 inconclusive);
+20 Android-only (10/10 inconsistent/inconclusive); 22 iOS-only (7/15).
+"""
+
+from repro.core.analysis.consistency import summarize_pairs
+
+
+def test_figure2_consistency(results, benchmark):
+    table = benchmark(results.figure2)
+    print("\n" + table.render())
+
+    summary = summarize_pairs([c for _, c in results.pair_classifications()])
+    n = len(results.corpus.common_pairs())
+
+    assert summary.total_pinning_either > 0
+    # Partition holds.
+    assert (
+        summary.pins_both + summary.android_only + summary.ios_only
+        == summary.total_pinning_either
+    )
+    # Roughly 12% of Common apps pin somewhere (69/575).
+    rate = summary.total_pinning_either / n
+    assert 0.05 < rate < 0.25
+
+    # Fewer than ~2/3 of both-platform pinners are fully consistent
+    # (paper: 15/27 ≈ 56%), and identical sets are the majority of the
+    # consistent ones (13/15).
+    if summary.pins_both >= 4:
+        assert summary.both_consistent <= 0.75 * summary.pins_both
+        assert summary.both_identical >= summary.both_consistent / 2
+
+    # Exclusive pinners exist on both sides.
+    assert summary.android_only > 0
+    assert summary.ios_only > 0

@@ -1,0 +1,29 @@
+"""Figure 3 — inconsistent pinning among both-platform pinners.
+
+Paper heat-map rows: Jaccard overlaps of 0.5 / 0.25 / 0, with per-side
+"% of pinned domains unpinned on the other platform" values.
+"""
+
+
+def test_figure3_both_platform(results, benchmark):
+    table = benchmark(results.figure3)
+    print("\n" + table.render())
+
+    classifications = [
+        c
+        for _, c in results.pair_classifications()
+        if c.pins_both and c.verdict == "inconsistent"
+    ]
+    assert classifications, "some both-platform inconsistency must exist"
+    for c in classifications:
+        # Inconsistency means at least one direction has cross-unpinned
+        # domains.
+        assert c.android_cross_unpinned > 0 or c.ios_cross_unpinned > 0
+        assert 0.0 <= c.jaccard < 1.0
+
+    # The paper sees a mix of overlapping (Jaccard > 0) and disjoint
+    # (Jaccard = 0) inconsistent pairs.
+    jaccards = [c.jaccard for c in classifications]
+    if len(jaccards) >= 3:
+        assert any(j > 0 for j in jaccards)
+        assert any(j == 0 for j in jaccards)

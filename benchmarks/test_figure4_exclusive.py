@@ -1,0 +1,32 @@
+"""Figure 4 — apps pinning exclusively on one platform.
+
+Paper: of 20 Android-only pinners, 10 are inconsistent (their pinned
+domains show up unpinned on iOS) and 10 inconclusive; of 22 iOS-only,
+7 and 15.  Inconsistent exclusives overwhelmingly have *all* their pinned
+domains unpinned on the other platform.
+"""
+
+
+def test_figure4_exclusive(results, benchmark):
+    figure4a, figure4b = benchmark(results.figure4)
+    print("\n" + figure4a.render())
+    print("\n" + figure4b.render())
+
+    classifications = [c for _, c in results.pair_classifications()]
+    android_only = [c for c in classifications if c.pins_android and not c.pins_ios]
+    ios_only = [c for c in classifications if c.pins_ios and not c.pins_android]
+
+    assert android_only and ios_only
+
+    # Both inconsistent and inconclusive exclusives exist (scale permitting).
+    for group, cross in (
+        (android_only, "android_cross_unpinned"),
+        (ios_only, "ios_cross_unpinned"),
+    ):
+        verdicts = {c.verdict for c in group}
+        assert verdicts <= {"inconsistent", "inconclusive"}
+        for c in group:
+            if c.verdict == "inconsistent":
+                # Figure 4: inconsistent exclusives show 100% of pinned
+                # domains unpinned cross-platform in most rows.
+                assert getattr(c, cross) > 0

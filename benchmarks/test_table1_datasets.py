@@ -1,0 +1,19 @@
+"""Table 1 — dataset category composition."""
+
+
+def test_table1_datasets(results, benchmark):
+    table = benchmark(results.table1)
+    print("\n" + table.render())
+
+    # Shape: "Games" is the top category of the Popular sets on both
+    # platforms (and of Common), as in Table 1.
+    top = {
+        (row[0], row[1]): row[3]
+        for row in table.rows
+        if row[2] == 1
+    }
+    assert top[("android", "popular")] == "Games"
+    assert top[("ios", "popular")] == "Games"
+    assert top[("android", "common")] == "Games"
+    # Random Android's head is Education/Games territory, never Finance.
+    assert top[("android", "random")] in ("Education", "Games")

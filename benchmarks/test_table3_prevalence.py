@@ -1,0 +1,53 @@
+"""Table 3 — the headline: pinning prevalence by technique × dataset ×
+platform.
+
+Paper values (count over dataset):
+
+==========  ========  =========  ==========  =====
+Dataset     Platform  Dynamic    Embedded    NSC
+==========  ========  =========  ==========  =====
+Common      Android   8.17%      26.96%      2.78%
+Common      iOS       8.52%      22.96%      —
+Popular     Android   6.7%       19.7%       1.8%
+Popular     iOS       11.4%      33.4%       —
+Random      Android   0.9%       9.9%        0.6%
+Random      iOS       2.5%       9.5%        —
+==========  ========  =========  ==========  =====
+"""
+
+import pytest
+
+from repro.corpus.profiles import DATASET_PROFILES
+
+
+def test_table3_prevalence(results, benchmark):
+    table = benchmark(results.table3)
+    print("\n" + table.render())
+
+    cells = results._prevalence_cells()
+
+    # Shape 1: iOS pins more than Android in every dataset.
+    for dataset in ("common", "popular", "random"):
+        assert (
+            cells[("ios", dataset)]["dynamic"].rate
+            >= cells[("android", dataset)]["dynamic"].rate
+        )
+
+    # Shape 2: static (embedded) >> dynamic >> NSC everywhere.
+    for key, cell in cells.items():
+        assert cell["embedded"].rate > cell["dynamic"].rate
+        if key[0] == "android":
+            assert cell["nsc"].rate <= cell["dynamic"].rate
+
+    # Shape 3: Popular >> Random on both platforms.
+    for platform in ("android", "ios"):
+        assert (
+            cells[(platform, "popular")]["dynamic"].rate
+            > cells[(platform, "random")]["dynamic"].rate
+        )
+
+    # Magnitudes: within a factor of ~2 of the paper's rates.
+    for key, cell in cells.items():
+        target = DATASET_PROFILES[key].dynamic_pin_rate
+        measured = cell["dynamic"].rate
+        assert measured == pytest.approx(target, rel=0.6, abs=0.02), key

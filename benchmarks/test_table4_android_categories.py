@@ -1,0 +1,22 @@
+"""Table 4 — top pinning categories on Android (paper: Finance 22.99%,
+Social 17.81%, ... with Finance rank 1)."""
+
+
+def test_table4_android_categories(results, benchmark):
+    table = benchmark(results.table4)
+    print("\n" + table.render())
+
+    assert table.rows, "some Android categories must pin"
+    categories = [row[0].split(" (")[0] for row in table.rows]
+    # Finance leads (or is near the top); Games never appears.
+    assert "Finance" in categories[:3]
+    assert "Games" not in categories
+
+    # Finance pinning prevalence is several times the platform average.
+    finance_rate = next(
+        float(row[1].rstrip("%")) for row in table.rows
+        if row[0].startswith("Finance")
+    )
+    dynamic = results.dynamic_by_app("android")
+    overall = 100 * sum(1 for r in dynamic.values() if r.pins()) / len(dynamic)
+    assert finance_rate > 2 * overall

@@ -1,0 +1,20 @@
+"""Table 5 — top pinning categories on iOS (paper: Finance 20.63%,
+Shopping 16.48%, Travel 13.48%, ...)."""
+
+
+def test_table5_ios_categories(results, benchmark):
+    table = benchmark(results.table5)
+    print("\n" + table.render())
+
+    assert table.rows
+    categories = [row[0].split(" (")[0] for row in table.rows]
+    assert "Finance" in categories[:3]
+    assert "Games" not in categories
+
+    finance_rate = next(
+        float(row[1].rstrip("%")) for row in table.rows
+        if row[0].startswith("Finance")
+    )
+    dynamic = results.dynamic_by_app("ios")
+    overall = 100 * sum(1 for r in dynamic.values() if r.pins()) / len(dynamic)
+    assert finance_rate > 1.5 * overall

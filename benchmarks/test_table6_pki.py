@@ -1,0 +1,28 @@
+"""Table 6 — PKI type at pinned destinations (paper: Android 163 default /
+4 custom; iOS 238 default / 1 custom; plus one self-signed case per
+platform)."""
+
+from repro.core.analysis.certificates import (
+    classify_pinned_destinations,
+    self_signed_validity_years,
+)
+
+
+def test_table6_pki(results, corpus, benchmark):
+    table = benchmark(results.table6)
+    print("\n" + table.render())
+
+    for row in table.rows:
+        platform, default, custom, self_signed = row
+        # Default PKI dominates overwhelmingly.
+        assert default >= 5 * max(custom, 1)
+        assert custom + self_signed <= default
+
+    # The self-signed oddities are long-lived (paper: 27 and 10 years).
+    years = []
+    for platform in ("android", "ios"):
+        years += self_signed_validity_years(
+            corpus, results.all_dynamic(platform)
+        )
+    for value in years:
+        assert value >= 5.0

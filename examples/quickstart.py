@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: generate a small corpus, run the full study, print the
+headline table.
+
+The paper's headline result (Table 3) is that dynamic analysis finds far
+more certificate pinning than the configuration-file technique prior work
+used — 6.7 % of popular Android apps and 11.4 % of popular iOS apps pin at
+run time.  This script reproduces the pipeline end to end at 10 % of the
+paper's corpus scale (~500 apps), which takes well under a minute.
+
+Run:
+    python examples/quickstart.py [--scale 0.1] [--seed 2022]
+"""
+
+import argparse
+import time
+
+from repro.core.analysis import Study
+from repro.corpus import CorpusConfig, CorpusGenerator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=2022)
+    args = parser.parse_args()
+
+    print(f"Generating corpus (scale={args.scale}, seed={args.seed})...")
+    started = time.time()
+    corpus = CorpusGenerator(CorpusConfig(seed=args.seed).scaled(args.scale)).generate()
+    print(
+        f"  {corpus.total_unique_apps()} unique apps, "
+        f"{len(corpus.registry)} TLS endpoints "
+        f"({time.time() - started:.1f}s)"
+    )
+
+    print("Running the study (static + dynamic + circumvention + PII)...")
+    started = time.time()
+    results = Study(corpus).run()
+    print(f"  done ({time.time() - started:.1f}s)\n")
+
+    print(results.table3().render())
+    print()
+    print(results.table2().render())
+    print()
+    print(
+        "Pinning circumvention (Frida): "
+        f"{results.circumvention_rate('android'):.1%} of pinned Android "
+        f"destinations, {results.circumvention_rate('ios'):.1%} of pinned "
+        "iOS destinations (paper: 51.5% / 66.2%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

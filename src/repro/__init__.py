@@ -1,0 +1,30 @@
+"""repro — reproduction of *A Comparative Analysis of Certificate Pinning in
+Android & iOS* (Pradeep et al., ACM IMC 2022).
+
+The package is organised in two layers:
+
+* **Substrates** — everything the paper's measurement depended on but we
+  cannot have in a laptop-scale reproduction: a simulated X.509 PKI
+  (:mod:`repro.pki`), a simulated TLS stack (:mod:`repro.tls`), an
+  interception proxy and flow capture (:mod:`repro.netsim`), synthetic
+  Android/iOS app packages (:mod:`repro.appmodel`), app-store corpora
+  (:mod:`repro.corpus`), and device emulation (:mod:`repro.device`).
+* **Core** — the paper's actual contribution: static and dynamic pinning
+  detection, circumvention, PII analysis and the downstream analyses that
+  regenerate every table and figure (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro.corpus import CorpusConfig, CorpusGenerator
+    from repro.core.analysis import Study
+
+    corpus = CorpusGenerator(CorpusConfig(seed=2022).scaled(0.1)).generate()
+    results = Study(corpus).run()
+    print(results.table3().render())
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

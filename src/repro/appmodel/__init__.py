@@ -1,0 +1,40 @@
+"""Synthetic mobile applications.
+
+An app in this simulation has two halves:
+
+* a **package** — the artefact static analysis sees: a file tree shaped
+  like a decompiled APK or a decrypted IPA, with manifests, NSC/ATS
+  configuration, embedded certificates, SPKI pin strings in code, and
+  third-party SDK directories;
+* a **runtime** — the behaviour dynamic analysis sees: which destinations
+  the app contacts in its first seconds, what it sends, and the validation
+  policy (pinning included) each connection uses.
+
+The two halves are generated from one ground-truth
+:class:`~repro.appmodel.pinning.PinningSpec` list, so static/dynamic
+disagreement (dormant code, obfuscation, dynamically loaded pins) is a
+controlled property of the corpus rather than an accident.
+"""
+
+from repro.appmodel.android import AndroidApp
+from repro.appmodel.app import MobileApp
+from repro.appmodel.behavior import DestinationUsage, NetworkBehavior
+from repro.appmodel.filetree import FileNode, FileTree
+from repro.appmodel.ios import IOSApp
+from repro.appmodel.pinning import PinMechanism, PinningSpec, PinScope
+from repro.appmodel.sdk import SDK_CATALOG, ThirdPartySDK
+
+__all__ = [
+    "AndroidApp",
+    "DestinationUsage",
+    "FileNode",
+    "FileTree",
+    "IOSApp",
+    "MobileApp",
+    "NetworkBehavior",
+    "PinMechanism",
+    "PinningSpec",
+    "PinScope",
+    "SDK_CATALOG",
+    "ThirdPartySDK",
+]

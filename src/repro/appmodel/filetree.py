@@ -1,0 +1,106 @@
+"""In-memory file trees — the unit static analysis operates on.
+
+A :class:`FileTree` stands for the contents of a decompiled APK or a
+decrypted IPA payload.  It supports the operations the paper's static
+pipeline performs: walking, extension filtering, and ripgrep-style content
+search.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Pattern, Tuple
+
+from repro.errors import AppModelError
+
+
+@dataclass
+class FileNode:
+    """One file.
+
+    Attributes:
+        path: package-relative POSIX path.
+        content: textual content.  Binary-ish files (native libraries,
+            Mach-O executables) are stored as text with embedded printable
+            strings — what ``strings``/radare2 would surface anyway.
+        binary: True for native-library/executable files; the text scanner
+            skips them unless string extraction is enabled.
+    """
+
+    path: str
+    content: str = ""
+    binary: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def extension(self) -> str:
+        name = self.name
+        if "." not in name:
+            return ""
+        return "." + name.rsplit(".", 1)[-1].lower()
+
+
+class FileTree:
+    """A mapping of paths to :class:`FileNode` with search helpers."""
+
+    def __init__(self):
+        self._files: Dict[str, FileNode] = {}
+
+    def add(self, path: str, content: str = "", binary: bool = False) -> FileNode:
+        """Add (or replace) a file.
+
+        Raises:
+            AppModelError: for empty or absolute paths.
+        """
+        if not path or path.startswith("/"):
+            raise AppModelError(f"invalid package path: {path!r}")
+        node = FileNode(path=path, content=content, binary=binary)
+        self._files[path] = node
+        return node
+
+    def get(self, path: str) -> Optional[FileNode]:
+        return self._files.get(path)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def walk(self) -> Iterator[FileNode]:
+        """All files in deterministic (sorted-path) order."""
+        for path in sorted(self._files):
+            yield self._files[path]
+
+    def with_extensions(self, extensions: Tuple[str, ...]) -> List[FileNode]:
+        """Files whose extension is in ``extensions`` (lowercase, dotted)."""
+        wanted = {e.lower() for e in extensions}
+        return [n for n in self.walk() if n.extension in wanted]
+
+    def grep(
+        self,
+        pattern: Pattern[str],
+        *,
+        include_binary: bool = False,
+    ) -> List[Tuple[FileNode, str]]:
+        """ripgrep stand-in: return (file, match) for every regex hit.
+
+        Args:
+            pattern: compiled regex.
+            include_binary: also scan binary files (the radare2-strings
+                pass); off by default like plain ripgrep.
+        """
+        hits: List[Tuple[FileNode, str]] = []
+        for node in self.walk():
+            if node.binary and not include_binary:
+                continue
+            for match in pattern.finditer(node.content):
+                hits.append((node, match.group(0)))
+        return hits
+
+    def paths(self) -> List[str]:
+        return sorted(self._files)

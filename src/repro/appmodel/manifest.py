@@ -1,0 +1,68 @@
+"""AndroidManifest.xml model.
+
+Only the pieces the study touches: the package id and the
+``android:networkSecurityConfig`` attribute pointing at an NSC resource.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AppModelError
+
+_ANDROID_NS = "http://schemas.android.com/apk/res/android"
+
+
+@dataclass
+class AndroidManifest:
+    """The manifest fields static analysis reads."""
+
+    package: str
+    version_name: str = "1.0.0"
+    network_security_config: Optional[str] = None  # e.g. "@xml/network_security_config"
+
+    def to_xml(self) -> str:
+        ET.register_namespace("android", _ANDROID_NS)
+        root = ET.Element("manifest")
+        root.set("package", self.package)
+        root.set(f"{{{_ANDROID_NS}}}versionName", self.version_name)
+        application = ET.SubElement(root, "application")
+        if self.network_security_config:
+            application.set(
+                f"{{{_ANDROID_NS}}}networkSecurityConfig",
+                self.network_security_config,
+            )
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "AndroidManifest":
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise AppModelError(f"malformed AndroidManifest: {exc}") from exc
+        if root.tag != "manifest":
+            raise AppModelError(f"not a manifest document: root <{root.tag}>")
+        package = root.get("package")
+        if not package:
+            raise AppModelError("manifest is missing the package attribute")
+        manifest = cls(
+            package=package,
+            version_name=root.get(f"{{{_ANDROID_NS}}}versionName", "1.0.0"),
+        )
+        application = root.find("application")
+        if application is not None:
+            manifest.network_security_config = application.get(
+                f"{{{_ANDROID_NS}}}networkSecurityConfig"
+            )
+        return manifest
+
+    def nsc_resource_path(self) -> Optional[str]:
+        """Resolve ``@xml/foo`` to the decompiled resource path ``res/xml/foo.xml``."""
+        if not self.network_security_config:
+            return None
+        ref = self.network_security_config
+        if ref.startswith("@xml/"):
+            return f"res/xml/{ref[len('@xml/'):]}.xml"
+        return ref

@@ -1,0 +1,127 @@
+"""iOS property lists: Info.plist, ATS settings, entitlements.
+
+Real plist XML via :mod:`plistlib` so decrypted IPA payloads look
+authentic to the static scanner.  App Transport Security's
+``NSPinnedDomains`` (iOS 14+) is modelled because apps ship it, but —
+exactly as in the paper (Section 4.1.1) — the study's iOS 13.6 device does
+not enforce it and the static pipeline does not check for it.
+"""
+
+from __future__ import annotations
+
+import plistlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AppModelError
+
+
+@dataclass
+class ATSPinnedDomain:
+    """One entry of ``NSPinnedDomains`` (iOS 14+)."""
+
+    domain: str
+    include_subdomains: bool = True
+    spki_sha256_base64: Tuple[str, ...] = ()
+
+
+@dataclass
+class InfoPlist:
+    """The Info.plist fields the study touches."""
+
+    bundle_id: str
+    bundle_name: str
+    version: str = "1.0.0"
+    ats_allows_arbitrary_loads: bool = False
+    ats_pinned_domains: List[ATSPinnedDomain] = field(default_factory=list)
+
+    def to_plist_xml(self) -> str:
+        ats: Dict[str, object] = {
+            "NSAllowsArbitraryLoads": self.ats_allows_arbitrary_loads
+        }
+        if self.ats_pinned_domains:
+            pinned: Dict[str, object] = {}
+            for entry in self.ats_pinned_domains:
+                pinned[entry.domain] = {
+                    "NSIncludesSubdomains": entry.include_subdomains,
+                    "NSPinnedLeafIdentities": [
+                        {"SPKI-SHA256-BASE64": v}
+                        for v in entry.spki_sha256_base64
+                    ],
+                }
+            ats["NSPinnedDomains"] = pinned
+        payload = {
+            "CFBundleIdentifier": self.bundle_id,
+            "CFBundleName": self.bundle_name,
+            "CFBundleShortVersionString": self.version,
+            "NSAppTransportSecurity": ats,
+        }
+        return plistlib.dumps(payload).decode("utf-8")
+
+    @classmethod
+    def from_plist_xml(cls, text: str) -> "InfoPlist":
+        try:
+            payload = plistlib.loads(text.encode("utf-8"))
+        except Exception as exc:
+            raise AppModelError(f"malformed Info.plist: {exc}") from exc
+        try:
+            info = cls(
+                bundle_id=payload["CFBundleIdentifier"],
+                bundle_name=payload.get("CFBundleName", ""),
+                version=payload.get("CFBundleShortVersionString", "1.0.0"),
+            )
+        except KeyError as exc:
+            raise AppModelError(f"Info.plist missing {exc}") from exc
+        ats = payload.get("NSAppTransportSecurity", {})
+        info.ats_allows_arbitrary_loads = bool(
+            ats.get("NSAllowsArbitraryLoads", False)
+        )
+        for domain, spec in ats.get("NSPinnedDomains", {}).items():
+            identities = spec.get("NSPinnedLeafIdentities", [])
+            info.ats_pinned_domains.append(
+                ATSPinnedDomain(
+                    domain=domain,
+                    include_subdomains=bool(
+                        spec.get("NSIncludesSubdomains", True)
+                    ),
+                    spki_sha256_base64=tuple(
+                        i["SPKI-SHA256-BASE64"]
+                        for i in identities
+                        if "SPKI-SHA256-BASE64" in i
+                    ),
+                )
+            )
+        return info
+
+
+@dataclass
+class Entitlements:
+    """The app entitlements; associated domains drive the iOS
+    background-traffic confounder (Section 4.5)."""
+
+    bundle_id: str
+    associated_domains: Tuple[str, ...] = ()
+
+    def to_plist_xml(self) -> str:
+        payload = {
+            "application-identifier": f"TEAMID.{self.bundle_id}",
+            "com.apple.developer.associated-domains": [
+                f"applinks:{d}" for d in self.associated_domains
+            ],
+        }
+        return plistlib.dumps(payload).decode("utf-8")
+
+    @classmethod
+    def from_plist_xml(cls, text: str) -> "Entitlements":
+        try:
+            payload = plistlib.loads(text.encode("utf-8"))
+        except Exception as exc:
+            raise AppModelError(f"malformed entitlements: {exc}") from exc
+        identifier = payload.get("application-identifier", "TEAMID.unknown")
+        bundle_id = identifier.split(".", 1)[1] if "." in identifier else identifier
+        domains = tuple(
+            entry.split(":", 1)[1]
+            for entry in payload.get("com.apple.developer.associated-domains", [])
+            if entry.startswith("applinks:")
+        )
+        return cls(bundle_id=bundle_id, associated_domains=domains)

@@ -1,0 +1,416 @@
+"""Third-party SDK catalog.
+
+The paper finds pinning "most commonly in third-party libraries (social
+networks, payment processing, and app analytics)" and names the top
+frameworks embedding certificates in Table 7.  This catalog models those
+SDKs — their code paths (the attribution signal of Section 4.1.4), the
+destinations they contact, whether and how they pin — plus a tail of
+common SDKs that embed certificate material *without* pinning (CA bundles,
+licence certificates), which is a major source of the static-over-dynamic
+detection gap.
+
+SDK names and domains follow the paper's Table 7 and Section 5 examples
+(``config2.mparticle.com``, ``*.perimeterx.net``, ``www.paypalobjects.com``,
+``firestore.googleapis.com``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.appmodel.pinning import PinForm, PinMechanism, PinScope, PinningSpec
+
+
+@dataclass(frozen=True)
+class ThirdPartySDK:
+    """A third-party library an app may embed.
+
+    Attributes:
+        name: vendor/framework name (Table 7's label).
+        platforms: platforms the SDK ships on.
+        code_path_android / code_path_ios: package path prefix of the SDK's
+            code inside a decompiled APK / decrypted IPA.
+        domains: destinations the SDK contacts at startup.
+        pins: whether the SDK pins its destinations.
+        mechanism / scope / form: pinning implementation when ``pins``.
+        embeds_certificates: ships certificate material in its code path
+            even if it does not pin (CA bundles etc.).
+        prevalence: per-platform inclusion probability in a *popular* app;
+            the corpus generator scales this by dataset.
+        category_affinity: app categories in which the SDK is more likely.
+        dormant_platforms: platforms where typical integrations never
+            trigger the SDK's network code at cold start — the paper's
+            PayPal-on-Android case (pins ship in 25 packages, Table 7, yet
+            PayPal domains never appear pinned dynamically except in the
+            PayPal app itself).
+    """
+
+    name: str
+    platforms: Tuple[str, ...]
+    code_path_android: str = ""
+    code_path_ios: str = ""
+    domains: Tuple[str, ...] = ()
+    pins: bool = False
+    mechanism: PinMechanism = PinMechanism.CUSTOM_TLS
+    scope: PinScope = PinScope.ROOT
+    form: PinForm = PinForm.SPKI_SHA256
+    embeds_certificates: bool = False
+    prevalence: Dict[str, float] = field(default_factory=dict)
+    category_affinity: Tuple[str, ...] = ()
+    dormant_platforms: Tuple[str, ...] = ()
+    obfuscated_pins: bool = False
+
+    def dormant_on(self, platform: str) -> bool:
+        return platform in self.dormant_platforms
+
+    def code_path(self, platform: str) -> str:
+        return self.code_path_android if platform == "android" else self.code_path_ios
+
+    def available_on(self, platform: str) -> bool:
+        return platform in self.platforms
+
+    def make_pinning_spec(self, platform: str) -> Optional[PinningSpec]:
+        """Build this SDK's pinning spec for a platform, if it pins there."""
+        if not self.pins or not self.available_on(platform):
+            return None
+        mechanism = self.mechanism
+        if mechanism.platform is not None and mechanism.platform != platform:
+            # Cross-platform SDKs reimplement pinning with the native
+            # mechanism of each platform.
+            mechanism = (
+                PinMechanism.OKHTTP if platform == "android" else PinMechanism.TRUSTKIT
+            )
+        return PinningSpec(
+            domains=self.domains,
+            mechanism=mechanism,
+            scope=self.scope,
+            form=self.form,
+            source=self.name,
+            code_path=self.code_path(platform),
+            obfuscated=self.obfuscated_pins,
+        )
+
+
+def _sdk(**kwargs) -> ThirdPartySDK:
+    return ThirdPartySDK(**kwargs)
+
+
+#: The catalog. Prevalence values are calibrated so that per-framework app
+#: counts across the full corpus land near Table 7's, and so third-party
+#: pinned destinations outnumber first-party ones (Section 5.2).
+SDK_CATALOG: Tuple[ThirdPartySDK, ...] = (
+    # -- pinning SDKs: Table 7 Android ------------------------------------
+    _sdk(
+        name="Twitter",
+        platforms=("android", "ios"),
+        code_path_android="com/twitter/sdk",
+        code_path_ios="Frameworks/TwitterKit.framework",
+        domains=("api.twitter.com", "syndication.twitter.com"),
+        pins=True,
+        mechanism=PinMechanism.OKHTTP,
+        scope=PinScope.ROOT,
+        form=PinForm.SPKI_SHA256,
+        embeds_certificates=True,
+        prevalence={"android": 0.028, "ios": 0.012},
+        category_affinity=("Social", "News", "Entertainment"),
+    ),
+    _sdk(
+        name="Braintree",
+        platforms=("android",),
+        code_path_android="com/braintreepayments/api",
+        domains=("api.braintreegateway.com",),
+        pins=True,
+        mechanism=PinMechanism.OKHTTP,
+        scope=PinScope.ROOT,
+        form=PinForm.RAW_CERTIFICATE,
+        embeds_certificates=True,
+        prevalence={"android": 0.026},
+        category_affinity=("Shopping", "Finance", "Food & Drink", "Travel"),
+    ),
+    _sdk(
+        name="Paypal",
+        platforms=("android", "ios"),
+        code_path_android="com/paypal/android/sdk",
+        code_path_ios="Frameworks/PayPalDataCollector.framework",
+        domains=("api.paypal.com", "www.paypalobjects.com"),
+        pins=True,
+        mechanism=PinMechanism.CUSTOM_TLS,
+        scope=PinScope.ROOT,
+        form=PinForm.RAW_CERTIFICATE,
+        embeds_certificates=True,
+        prevalence={"android": 0.024, "ios": 0.022},
+        category_affinity=("Shopping", "Finance", "Travel", "Food & Drink"),
+        dormant_platforms=("android",),
+    ),
+    _sdk(
+        name="Perimeterx",
+        platforms=("android", "ios"),
+        code_path_android="com/perimeterx/msdk",
+        code_path_ios="Frameworks/PerimeterX.framework",
+        domains=("collector.perimeterx.net",),
+        pins=True,
+        mechanism=PinMechanism.OKHTTP,
+        scope=PinScope.INTERMEDIATE,
+        form=PinForm.SPKI_SHA256,
+        embeds_certificates=True,
+        prevalence={"android": 0.009, "ios": 0.005},
+        category_affinity=("Shopping", "Travel", "Lifestyle"),
+    ),
+    _sdk(
+        name="MParticle",
+        platforms=("android", "ios"),
+        code_path_android="com/mparticle",
+        code_path_ios="Frameworks/mParticle.framework",
+        domains=("config2.mparticle.com", "nativesdks.mparticle.com"),
+        pins=True,
+        mechanism=PinMechanism.OKHTTP,
+        scope=PinScope.ROOT,
+        form=PinForm.SPKI_SHA256,
+        embeds_certificates=True,
+        prevalence={"android": 0.009, "ios": 0.007},
+        category_affinity=("Shopping", "Lifestyle", "Food & Drink"),
+    ),
+    # -- pinning SDKs: Table 7 iOS -----------------------------------------
+    _sdk(
+        name="Amplitude",
+        platforms=("ios", "android"),
+        code_path_ios="Frameworks/Amplitude.framework",
+        code_path_android="com/amplitude/api",
+        domains=("api.amplitude.com",),
+        pins=True,
+        mechanism=PinMechanism.URLSESSION,
+        scope=PinScope.ROOT,
+        form=PinForm.SPKI_SHA256,
+        embeds_certificates=True,
+        prevalence={"ios": 0.042, "android": 0.004},
+        category_affinity=("Social", "Lifestyle", "Photo & Video", "Productivity"),
+    ),
+    _sdk(
+        name="Stripe",
+        platforms=("ios", "android"),
+        code_path_ios="Frameworks/Stripe.framework",
+        code_path_android="com/stripe/android",
+        domains=("api.stripe.com",),
+        pins=True,
+        mechanism=PinMechanism.URLSESSION,
+        scope=PinScope.ROOT,
+        form=PinForm.SPKI_SHA256,
+        embeds_certificates=True,
+        prevalence={"ios": 0.032, "android": 0.004},
+        category_affinity=("Shopping", "Finance", "Food & Drink", "Travel"),
+    ),
+    _sdk(
+        name="Weibo",
+        platforms=("ios",),
+        code_path_ios="Frameworks/WeiboSDK.framework",
+        domains=("api.weibo.com",),
+        pins=True,
+        mechanism=PinMechanism.CUSTOM_TLS,
+        scope=PinScope.LEAF,
+        form=PinForm.SPKI_SHA256,
+        embeds_certificates=True,
+        prevalence={"ios": 0.022},
+        category_affinity=("Social", "Photo & Video", "Entertainment"),
+    ),
+    _sdk(
+        name="FraudForce",
+        platforms=("ios", "android"),
+        code_path_ios="Frameworks/FraudForce.framework",
+        code_path_android="com/iovation/mobile/android",
+        domains=("mpsnare.iesnare.com",),
+        pins=True,
+        mechanism=PinMechanism.CUSTOM_TLS,
+        scope=PinScope.ROOT,
+        form=PinForm.RAW_CERTIFICATE,
+        embeds_certificates=True,
+        prevalence={"ios": 0.015, "android": 0.008},
+        category_affinity=("Finance", "Shopping"),
+    ),
+    # App-protection/anti-tamper SDKs ship their own TLS stacks — the
+    # unhookable tail behind the paper's ~50 % Android circumvention rate.
+    _sdk(
+        name="AppShield",
+        platforms=("android",),
+        code_path_android="com/appshield/sdk",
+        domains=("telemetry.appshield.io",),
+        pins=True,
+        mechanism=PinMechanism.CUSTOM_TLS,
+        scope=PinScope.LEAF,
+        form=PinForm.RAW_CERTIFICATE,
+        embeds_certificates=True,
+        prevalence={"android": 0.012},
+        category_affinity=("Finance", "Business", "Health"),
+    ),
+    _sdk(
+        name="Adobe Creative Cloud",
+        platforms=("ios",),
+        code_path_ios="Frameworks/AdobeCreativeSDK.framework",
+        domains=("cc-api-storage.adobe.io",),
+        pins=True,
+        mechanism=PinMechanism.AFNETWORKING,
+        scope=PinScope.ROOT,
+        form=PinForm.SPKI_SHA256,
+        embeds_certificates=True,
+        prevalence={"ios": 0.012},
+        category_affinity=("Photo & Video", "Productivity"),
+    ),
+    # -- pinning SDKs pervasive in random iOS apps (Section 5, "Pinning by
+    #    Platform": paypalobjects and firestore pins in the Random set) ----
+    _sdk(
+        name="Firestore",
+        platforms=("ios", "android"),
+        code_path_ios="Frameworks/FirebaseFirestore.framework",
+        code_path_android="com/google/firebase/firestore",
+        domains=("firestore.googleapis.com",),
+        pins=True,
+        mechanism=PinMechanism.URLSESSION,
+        scope=PinScope.ROOT,
+        form=PinForm.SPKI_SHA256,
+        embeds_certificates=False,
+        prevalence={"ios": 0.016, "android": 0.0},
+        category_affinity=(),
+        obfuscated_pins=True,  # pins are built at run time; static misses them
+    ),
+    # -- non-pinning SDKs that still embed certificate material ------------
+    _sdk(
+        name="Sensibill",
+        platforms=("android",),
+        code_path_android="com/getsensibill/sensibill",
+        domains=("api.getsensibill.com",),
+        pins=False,
+        embeds_certificates=True,
+        prevalence={"android": 0.004},
+        category_affinity=("Finance",),
+    ),
+    _sdk(
+        name="AWS SDK",
+        platforms=("android", "ios"),
+        code_path_android="com/amazonaws",
+        code_path_ios="Frameworks/AWSCore.framework",
+        domains=("cognito-identity.us-east-1.amazonaws.com",),
+        pins=False,
+        embeds_certificates=True,  # ships an IoT root-CA bundle
+        prevalence={"android": 0.09, "ios": 0.07},
+        category_affinity=(),
+    ),
+    _sdk(
+        name="Conviva",
+        platforms=("android", "ios"),
+        code_path_android="com/conviva/api",
+        code_path_ios="Frameworks/ConvivaSDK.framework",
+        domains=("cws.conviva.com",),
+        pins=False,
+        embeds_certificates=True,
+        prevalence={"android": 0.02, "ios": 0.02},
+        category_affinity=("Entertainment", "Photo & Video"),
+    ),
+    _sdk(
+        name="OpenTok",
+        platforms=("android", "ios"),
+        code_path_android="com/opentok/android",
+        code_path_ios="Frameworks/OpenTok.framework",
+        domains=("anvil.opentok.com",),
+        pins=False,
+        embeds_certificates=True,
+        prevalence={"android": 0.015, "ios": 0.015},
+        category_affinity=("Social", "Health", "Medical"),
+    ),
+    _sdk(
+        name="Cordova SSL Pinning Plugin",
+        platforms=("android", "ios"),
+        code_path_android="nl/xservices/plugins",
+        code_path_ios="Frameworks/CordovaHttp.framework",
+        domains=(),
+        pins=False,  # ships pinning *capability*; most apps never enable it
+        embeds_certificates=True,
+        prevalence={"android": 0.03, "ios": 0.02},
+        category_affinity=("Business", "Productivity", "Utilities"),
+    ),
+    # -- ubiquitous non-pinning SDKs (traffic volume, PII senders) ---------
+    _sdk(
+        name="Firebase",
+        platforms=("android", "ios"),
+        code_path_android="com/google/firebase",
+        code_path_ios="Frameworks/FirebaseCore.framework",
+        domains=(
+            "firebaseinstallations.googleapis.com",
+            "firebaseremoteconfig.googleapis.com",
+        ),
+        pins=False,
+        prevalence={"android": 0.62, "ios": 0.45},
+        category_affinity=(),
+    ),
+    _sdk(
+        name="AdMob",
+        platforms=("android", "ios"),
+        code_path_android="com/google/android/gms/ads",
+        code_path_ios="Frameworks/GoogleMobileAds.framework",
+        domains=("googleads.g.doubleclick.net", "pagead2.googlesyndication.com"),
+        pins=False,
+        prevalence={"android": 0.45, "ios": 0.30},
+        category_affinity=("Games", "Entertainment", "Tools", "Utilities"),
+    ),
+    _sdk(
+        name="Facebook",
+        platforms=("android", "ios"),
+        code_path_android="com/facebook/sdk",
+        code_path_ios="Frameworks/FBSDKCoreKit.framework",
+        domains=("graph.facebook.com",),
+        pins=False,
+        prevalence={"android": 0.35, "ios": 0.32},
+        category_affinity=(),
+    ),
+    _sdk(
+        name="Crashlytics",
+        platforms=("android", "ios"),
+        code_path_android="com/crashlytics/android",
+        code_path_ios="Frameworks/Crashlytics.framework",
+        domains=("settings.crashlytics.com", "reports.crashlytics.com"),
+        pins=False,
+        prevalence={"android": 0.40, "ios": 0.35},
+        category_affinity=(),
+    ),
+    _sdk(
+        name="AppsFlyer",
+        platforms=("android", "ios"),
+        code_path_android="com/appsflyer",
+        code_path_ios="Frameworks/AppsFlyerLib.framework",
+        domains=("t.appsflyer.com", "events.appsflyer.com"),
+        pins=False,
+        prevalence={"android": 0.18, "ios": 0.20},
+        category_affinity=("Games", "Shopping", "Lifestyle"),
+    ),
+    _sdk(
+        name="Adjust",
+        platforms=("android", "ios"),
+        code_path_android="com/adjust/sdk",
+        code_path_ios="Frameworks/Adjust.framework",
+        domains=("app.adjust.com",),
+        pins=False,
+        prevalence={"android": 0.12, "ios": 0.14},
+        category_affinity=(),
+    ),
+    _sdk(
+        name="Unity Ads",
+        platforms=("android", "ios"),
+        code_path_android="com/unity3d/ads",
+        code_path_ios="Frameworks/UnityAds.framework",
+        domains=("publisher-config.unityads.unity3d.com",),
+        pins=False,
+        prevalence={"android": 0.20, "ios": 0.15},
+        category_affinity=("Games",),
+    ),
+)
+
+
+def sdk_by_name(name: str) -> Optional[ThirdPartySDK]:
+    """Look up a catalog SDK by name."""
+    for sdk in SDK_CATALOG:
+        if sdk.name == name:
+            return sdk
+    return None
+
+
+def sdks_for_platform(platform: str) -> List[ThirdPartySDK]:
+    return [s for s in SDK_CATALOG if s.available_on(platform)]

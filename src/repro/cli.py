@@ -1,0 +1,128 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``study``    — run the full measurement and print (or save) every table
+  and figure.
+* ``table``    — run the study and print a single table (``table3``,
+  ``figure2``, ...).
+* ``score``    — run the dynamic pipeline and print detector
+  precision/recall against corpus ground truth.
+* ``corpus``   — generate a corpus and print its composition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.analysis import Study
+from repro.corpus import CorpusConfig, CorpusGenerator
+
+TABLE_CHOICES = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "table8", "table9", "figure2", "figure3", "figure5",
+]
+
+
+def _build_corpus(args):
+    config = CorpusConfig(seed=args.seed)
+    if args.scale != 1.0:
+        config = config.scaled(args.scale)
+    return CorpusGenerator(config).generate()
+
+
+def _cmd_corpus(args) -> int:
+    corpus = _build_corpus(args)
+    print(f"unique apps : {corpus.total_unique_apps()}")
+    print(f"endpoints   : {len(corpus.registry)}")
+    print(f"CT log size : {corpus.registry.ctlog.size}")
+    for key, apps in sorted(corpus.datasets.items()):
+        pinners = sum(1 for a in apps if a.app.pins_at_runtime())
+        print(f"{key[0]:8s} {key[1]:8s} n={len(apps):5d} pinners={pinners}")
+    return 0
+
+
+def _cmd_study(args) -> int:
+    corpus = _build_corpus(args)
+    started = time.time()
+    results = Study(corpus).run()
+    print(f"# study completed in {time.time() - started:.0f}s", file=sys.stderr)
+    for name in TABLE_CHOICES:
+        print(getattr(results, name)().render())
+        print()
+    figure4a, figure4b = results.figure4()
+    print(figure4a.render())
+    print()
+    print(figure4b.render())
+    print()
+    print(f"circumvention android: {results.circumvention_rate('android'):.2%}")
+    print(f"circumvention ios    : {results.circumvention_rate('ios'):.2%}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    corpus = _build_corpus(args)
+    results = Study(corpus).run()
+    artefact = getattr(results, args.name)()
+    if isinstance(artefact, tuple):
+        for part in artefact:
+            print(part.render())
+            print()
+    elif args.csv:
+        print(artefact.to_csv(), end="")
+    else:
+        print(artefact.render())
+    return 0
+
+
+def _cmd_score(args) -> int:
+    from repro.core.analysis.scoring import score_apps, score_destinations
+    from repro.core.dynamic import DynamicPipeline
+
+    corpus = _build_corpus(args)
+    pipeline = DynamicPipeline(corpus)
+    for key in sorted(corpus.datasets):
+        results = pipeline.run_dataset(*key)
+        dest = score_destinations(corpus, results)
+        app = score_apps(corpus, results)
+        print(
+            f"{key[0]:8s} {key[1]:8s} destination P={dest.precision:.3f} "
+            f"R={dest.recall:.3f} F1={dest.f1:.3f} | "
+            f"app P={app.precision:.3f} R={app.recall:.3f}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="corpus scale relative to the paper's (1.0 = 5,150 apps)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("corpus", help="generate a corpus and print composition")
+    sub.add_parser("study", help="run everything, print all tables")
+    table = sub.add_parser("table", help="print one table/figure")
+    table.add_argument("name", choices=TABLE_CHOICES + ["figure4"])
+    table.add_argument("--csv", action="store_true")
+    sub.add_parser("score", help="detector precision/recall vs ground truth")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "corpus": _cmd_corpus,
+        "study": _cmd_study,
+        "table": _cmd_table,
+        "score": _cmd_score,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""The paper's core contribution: pinning detection and analysis.
+
+* :mod:`repro.core.static` — package-level detection (embedded
+  certificates, SPKI hashes, NSC files, third-party attribution).
+* :mod:`repro.core.dynamic` — run-time detection via differential traffic
+  analysis.
+* :mod:`repro.core.circumvent` — Frida-style pinning bypass.
+* :mod:`repro.core.pii` — PII detection in decrypted traffic.
+* :mod:`repro.core.analysis` — the study orchestrator and every
+  table/figure computation.
+"""

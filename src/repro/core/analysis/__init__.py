@@ -1,0 +1,20 @@
+"""Downstream analyses: every table and figure in Section 5.
+
+:class:`Study` orchestrates the full measurement (static + dynamic +
+circumvention + PII) and exposes one method per paper artefact; the
+individual modules hold the computations so they can be tested and
+ablated independently.
+"""
+
+from repro.core.analysis.consistency import (
+    ConsistencyClassification,
+    classify_pair,
+)
+from repro.core.analysis.study import Study, StudyResults
+
+__all__ = [
+    "ConsistencyClassification",
+    "Study",
+    "StudyResults",
+    "classify_pair",
+]

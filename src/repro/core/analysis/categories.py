@@ -1,0 +1,115 @@
+"""Category analyses (Tables 1, 4 and 5).
+
+Table 1 describes the datasets; Tables 4/5 rank categories by pinning
+prevalence, normalising per-category pinner counts by per-category app
+counts across all of a platform's datasets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.dynamic.pipeline import DynamicAppResult
+from repro.corpus.datasets import AppCorpus
+from repro.reporting.tables import Table, percent
+
+
+def dataset_category_table(corpus: AppCorpus, top_n: int = 10) -> Table:
+    """Table 1: top categories per dataset with shares."""
+    table = Table(
+        title="Table 1: Top app categories per dataset",
+        headers=["Platform", "Dataset", "Rank", "Category", "Share"],
+    )
+    for (platform, dataset), apps in sorted(corpus.datasets.items()):
+        counts = Counter(p.app.category for p in apps)
+        total = len(apps)
+        for rank, (category, count) in enumerate(counts.most_common(top_n), 1):
+            table.add_row(
+                platform, dataset, rank, category, percent(count / total, 0)
+            )
+    return table
+
+
+@dataclass(frozen=True)
+class CategoryPinningRow:
+    """One Table 4/5 row."""
+
+    category: str
+    popularity_rank: int
+    pinning_rate: float
+    pinning_apps: int
+    total_apps: int
+
+
+def category_pinning_rows(
+    corpus: AppCorpus,
+    platform: str,
+    dynamic_by_app: Dict[str, DynamicAppResult],
+    min_apps: int = 2,
+) -> List[CategoryPinningRow]:
+    """Per-category pinning prevalence across all of a platform's datasets.
+
+    Args:
+        corpus: the generated corpus.
+        platform: ``"android"`` or ``"ios"``.
+        dynamic_by_app: app id → dynamic result (unique apps).
+        min_apps: drop categories with fewer apps than this (tiny-cell
+            noise suppression; the paper's top-10 lists implicitly do the
+            same).
+    """
+    apps = corpus.all_apps(platform)
+    totals: Counter = Counter(p.app.category for p in apps)
+    pinners: Counter = Counter()
+    for packaged in apps:
+        result = dynamic_by_app.get(packaged.app.app_id)
+        if result is not None and result.pins():
+            pinners[packaged.app.category] += 1
+
+    popularity = {
+        category: rank
+        for rank, (category, _) in enumerate(totals.most_common(), 1)
+    }
+    rows: List[CategoryPinningRow] = []
+    for category, total in totals.items():
+        if total < min_apps:
+            continue
+        count = pinners.get(category, 0)
+        rows.append(
+            CategoryPinningRow(
+                category=category,
+                popularity_rank=popularity[category],
+                pinning_rate=count / total,
+                pinning_apps=count,
+                total_apps=total,
+            )
+        )
+    rows.sort(key=lambda r: (-r.pinning_rate, r.category))
+    return rows
+
+
+def category_pinning_table(
+    corpus: AppCorpus,
+    platform: str,
+    dynamic_by_app: Dict[str, DynamicAppResult],
+    top_n: int = 10,
+) -> Table:
+    """Tables 4/5: top-N pinning categories for a platform."""
+    number = "4" if platform == "android" else "5"
+    table = Table(
+        title=(
+            f"Table {number}: Top categories of pinning apps on "
+            f"{platform} (all datasets)"
+        ),
+        headers=["Category (Rank)", "Pinning %", "No. of Apps"],
+    )
+    for row in category_pinning_rows(corpus, platform, dynamic_by_app)[:top_n]:
+        if row.pinning_apps == 0:
+            continue
+        table.add_row(
+            f"{row.category} ({row.popularity_rank})",
+            percent(row.pinning_rate),
+            row.pinning_apps,
+        )
+    return table

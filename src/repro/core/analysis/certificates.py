@@ -1,0 +1,213 @@
+"""Certificate-level analyses (Section 5.3, Table 6).
+
+Four questions about how pinning is implemented:
+
+* **PKI type** (Table 6) — validate the chain served at every pinned
+  destination against the Mozilla store (OpenSSL-style); default PKI vs
+  custom, plus the self-signed oddities and their validity periods.
+* **Root vs leaf** (Section 5.3.2) — for pins where a statically found
+  certificate matches a dynamically observed chain (by Common Name),
+  which chain position is pinned.
+* **SPKI vs whole certificate** (Section 5.3.3) — of the leaf pins, how
+  many are key pins (surviving renewals) vs raw certificates.
+* **Validation subversion** (Section 5.3.4) — expired-but-accepted
+  certificates at pinned destinations (the paper found none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dynamic.pipeline import DynamicAppResult
+from repro.core.static.report import StaticAppReport
+from repro.corpus.datasets import AppCorpus
+from repro.pki.chain import CertificateChain
+from repro.pki.store import RootStore
+from repro.pki.validation import classify_pki
+from repro.reporting.tables import Table
+from repro.util.encoding import b64encode
+from repro.util.simtime import STUDY_START, Timestamp
+
+
+@dataclass
+class PKIClassification:
+    """Table 6 counts for one platform."""
+
+    platform: str
+    default_pki: int = 0
+    custom_pki: int = 0
+    self_signed: int = 0
+    unavailable: int = 0
+
+    def add(self, kind: str) -> None:
+        if kind == "default":
+            self.default_pki += 1
+        elif kind == "custom":
+            self.custom_pki += 1
+        elif kind == "self-signed":
+            self.self_signed += 1
+        else:
+            self.unavailable += 1
+
+
+def classify_pinned_destinations(
+    corpus: AppCorpus,
+    platform: str,
+    results: Sequence[DynamicAppResult],
+    mozilla: Optional[RootStore] = None,
+    at_time: Timestamp = STUDY_START,
+) -> PKIClassification:
+    """Classify the PKI behind every unique pinned destination."""
+    mozilla = mozilla or corpus.stores.mozilla
+    out = PKIClassification(platform=platform)
+    seen: Set[str] = set()
+    for result in results:
+        for destination in result.pinned_destinations:
+            if destination in seen:
+                continue
+            seen.add(destination)
+            if not corpus.registry.knows(destination):
+                out.add("unavailable")
+                continue
+            chain = corpus.registry.resolve(destination).chain
+            if chain.is_single_self_signed():
+                out.add("self-signed")
+                continue
+            out.add(classify_pki(chain, mozilla, at_time))
+    return out
+
+
+def pki_table(rows: Sequence[PKIClassification]) -> Table:
+    table = Table(
+        title="Table 6: PKI type at pinned destinations",
+        headers=["Platform", "Default PKI", "Custom PKI", "Self-signed"],
+    )
+    for row in rows:
+        table.add_row(
+            row.platform.capitalize(),
+            row.default_pki,
+            row.custom_pki,
+            row.self_signed,
+        )
+    return table
+
+
+@dataclass
+class PinPositionAnalysis:
+    """Section 5.3.2/5.3.3 counts."""
+
+    matched_apps: int = 0
+    ca_pins: int = 0
+    leaf_pins: int = 0
+    leaf_spki_pins: int = 0
+    leaf_raw_certificates: int = 0
+
+    @property
+    def ca_fraction(self) -> float:
+        total = self.ca_pins + self.leaf_pins
+        return self.ca_pins / total if total else 0.0
+
+
+def _static_cert_cns(report: StaticAppReport) -> Set[str]:
+    """CNs of certificates the static pass surfaced (raw + CT-resolved)."""
+    cns = {f.certificate.common_name for f in report.scan.certificates}
+    for cert in report.ct.certificates():
+        cns.add(cert.subject.common_name)
+    return cns
+
+
+def analyze_pin_positions(
+    corpus: AppCorpus,
+    static_by_app: Dict[str, StaticAppReport],
+    results: Sequence[DynamicAppResult],
+) -> PinPositionAnalysis:
+    """Match static certificates against dynamic chains by Common Name.
+
+    For each app with at least one match, count which chain positions the
+    matched certificates occupy (CA vs leaf), and for leaf matches,
+    whether the pin was an SPKI digest or a raw certificate.
+    """
+    analysis = PinPositionAnalysis()
+    for result in results:
+        report = static_by_app.get(result.app_id)
+        if report is None or not result.pins():
+            continue
+        static_cns = _static_cert_cns(report)
+        if not static_cns:
+            continue
+        # Each certificate is counted once per app (CA certificates recur
+        # across that app's pinned destinations).
+        matched: Dict[str, object] = {}
+        for destination in result.pinned_destinations:
+            if not corpus.registry.knows(destination):
+                continue
+            chain = corpus.registry.resolve(destination).chain
+            for cert in chain:
+                cn = cert.subject.common_name
+                if cn in static_cns and cn not in matched:
+                    matched[cn] = cert
+        if not matched:
+            continue
+        analysis.matched_apps += 1
+        for cert in matched.values():
+            if cert.is_ca:
+                analysis.ca_pins += 1
+            else:
+                analysis.leaf_pins += 1
+                # Pin form: did the package carry the key digest or the
+                # whole certificate?
+                pin = cert.spki_pin()
+                if pin in report.all_pin_strings():
+                    analysis.leaf_spki_pins += 1
+                else:
+                    analysis.leaf_raw_certificates += 1
+    return analysis
+
+
+@dataclass
+class ExpiryCheck:
+    """Section 5.3.4: certificates served at pinned destinations that are
+    expired yet accepted."""
+
+    checked_destinations: int = 0
+    expired_accepted: int = 0
+
+
+def check_validation_subversion(
+    corpus: AppCorpus,
+    results: Sequence[DynamicAppResult],
+    at_time: Timestamp = STUDY_START,
+) -> ExpiryCheck:
+    """Look for expired certificates at destinations whose connections
+    succeeded (direct setting) — evidence of disabled standard checks."""
+    check = ExpiryCheck()
+    seen: Set[str] = set()
+    for result in results:
+        for destination in result.pinned_destinations:
+            if destination in seen or not corpus.registry.knows(destination):
+                continue
+            seen.add(destination)
+            check.checked_destinations += 1
+            chain = corpus.registry.resolve(destination).chain
+            if any(cert.is_expired(at_time) for cert in chain):
+                check.expired_accepted += 1
+    return check
+
+
+def self_signed_validity_years(
+    corpus: AppCorpus, results: Sequence[DynamicAppResult]
+) -> List[float]:
+    """Validity periods of self-signed certificates at pinned destinations
+    (the paper found 27- and 10-year examples)."""
+    years: List[float] = []
+    seen: Set[str] = set()
+    for result in results:
+        for destination in result.pinned_destinations:
+            if destination in seen or not corpus.registry.knows(destination):
+                continue
+            seen.add(destination)
+            chain = corpus.registry.resolve(destination).chain
+            if chain.is_single_self_signed():
+                years.append(chain.leaf.validity_years())
+    return sorted(years, reverse=True)

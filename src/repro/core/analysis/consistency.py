@@ -1,0 +1,248 @@
+"""Cross-platform pinning consistency (Section 5.1, Figures 2–4).
+
+For each Common pair, compare the pinned and not-pinned destination sets
+observed on each platform:
+
+* **consistent** — at least one common pinned domain, and no domain
+  pinned on one platform observed unpinned on the other;
+* **inconsistent** — some domain pinned on one platform appears unpinned
+  on the other;
+* **inconclusive** — the pinned domains of each platform were never
+  observed on the other at all.
+
+Figure 3's per-app numbers — Jaccard overlap of the two pinned sets, and
+each direction's "% of pinned domains unpinned on the other platform" —
+are computed here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.dynamic.pipeline import DynamicAppResult
+from repro.reporting.tables import Table, percent
+from repro.util.stats import jaccard_index
+
+
+@dataclass
+class PairObservation:
+    """The four observed sets for one Common pair."""
+
+    android_pinned: Set[str]
+    android_unpinned: Set[str]
+    ios_pinned: Set[str]
+    ios_unpinned: Set[str]
+
+    @classmethod
+    def from_results(
+        cls, android: DynamicAppResult, ios: DynamicAppResult
+    ) -> "PairObservation":
+        return cls(
+            android_pinned=set(android.pinned_destinations),
+            android_unpinned=set(android.not_pinned_destinations),
+            ios_pinned=set(ios.pinned_destinations),
+            ios_unpinned=set(ios.not_pinned_destinations),
+        )
+
+
+@dataclass
+class ConsistencyClassification:
+    """Verdict plus the Figure 3/4 numbers for one pair.
+
+    Attributes:
+        pins_android / pins_ios: whether each side pinned at all.
+        verdict: ``consistent`` / ``inconsistent`` / ``inconclusive`` /
+            ``none``.
+        jaccard: overlap of the two pinned sets (both-platform pinners).
+        android_cross_unpinned: fraction of Android-pinned domains seen
+            unpinned on iOS.
+        ios_cross_unpinned: fraction of iOS-pinned domains seen unpinned
+            on Android.
+        identical_sets: both platforms pin exactly the same set.
+    """
+
+    pins_android: bool
+    pins_ios: bool
+    verdict: str
+    jaccard: float = 0.0
+    android_cross_unpinned: float = 0.0
+    ios_cross_unpinned: float = 0.0
+    identical_sets: bool = False
+
+    @property
+    def pins_both(self) -> bool:
+        return self.pins_android and self.pins_ios
+
+    @property
+    def pins_either(self) -> bool:
+        return self.pins_android or self.pins_ios
+
+
+def classify_pair(obs: PairObservation) -> ConsistencyClassification:
+    """Classify one Common pair per the Section 5.1 definitions."""
+    pins_android = bool(obs.android_pinned)
+    pins_ios = bool(obs.ios_pinned)
+
+    android_cross = (
+        len(obs.android_pinned & obs.ios_unpinned) / len(obs.android_pinned)
+        if obs.android_pinned
+        else 0.0
+    )
+    ios_cross = (
+        len(obs.ios_pinned & obs.android_unpinned) / len(obs.ios_pinned)
+        if obs.ios_pinned
+        else 0.0
+    )
+
+    if not pins_android and not pins_ios:
+        return ConsistencyClassification(False, False, "none")
+
+    inconsistent = android_cross > 0 or ios_cross > 0
+    jaccard = (
+        jaccard_index(obs.android_pinned, obs.ios_pinned)
+        if (pins_android and pins_ios)
+        else 0.0
+    )
+    common_pinned = obs.android_pinned & obs.ios_pinned
+
+    if inconsistent:
+        verdict = "inconsistent"
+    elif pins_android and pins_ios and common_pinned:
+        verdict = "consistent"
+    else:
+        # Pinned domains never observed on the other platform (or no
+        # common pinned domain): cannot conclude either way.
+        verdict = "inconclusive"
+
+    return ConsistencyClassification(
+        pins_android=pins_android,
+        pins_ios=pins_ios,
+        verdict=verdict,
+        jaccard=jaccard,
+        android_cross_unpinned=android_cross,
+        ios_cross_unpinned=ios_cross,
+        identical_sets=(
+            pins_android
+            and pins_ios
+            and obs.android_pinned == obs.ios_pinned
+        ),
+    )
+
+
+@dataclass
+class ConsistencySummary:
+    """Figure 2's aggregate view of the Common dataset."""
+
+    total_pinning_either: int = 0
+    pins_both: int = 0
+    android_only: int = 0
+    ios_only: int = 0
+    both_consistent: int = 0
+    both_identical: int = 0
+    both_inconsistent: int = 0
+    both_inconclusive: int = 0
+    android_only_inconsistent: int = 0
+    android_only_inconclusive: int = 0
+    ios_only_inconsistent: int = 0
+    ios_only_inconclusive: int = 0
+
+
+def summarize_pairs(
+    classifications: List[ConsistencyClassification],
+) -> ConsistencySummary:
+    """Aggregate pair classifications into the Figure 2 counts."""
+    summary = ConsistencySummary()
+    for c in classifications:
+        if not c.pins_either:
+            continue
+        summary.total_pinning_either += 1
+        if c.pins_both:
+            summary.pins_both += 1
+            if c.verdict == "consistent":
+                summary.both_consistent += 1
+                if c.identical_sets:
+                    summary.both_identical += 1
+            elif c.verdict == "inconsistent":
+                summary.both_inconsistent += 1
+            else:
+                summary.both_inconclusive += 1
+        elif c.pins_android:
+            summary.android_only += 1
+            if c.verdict == "inconsistent":
+                summary.android_only_inconsistent += 1
+            else:
+                summary.android_only_inconclusive += 1
+        else:
+            summary.ios_only += 1
+            if c.verdict == "inconsistent":
+                summary.ios_only_inconsistent += 1
+            else:
+                summary.ios_only_inconclusive += 1
+    return summary
+
+
+def figure2_table(summary: ConsistencySummary) -> Table:
+    table = Table(
+        title="Figure 2: Pinning consistency in the Common dataset",
+        headers=["Group", "Count"],
+    )
+    table.add_row("Apps pinning on either platform", summary.total_pinning_either)
+    table.add_row("Pin on both platforms", summary.pins_both)
+    table.add_row("  consistent", summary.both_consistent)
+    table.add_row("    identical pinned sets", summary.both_identical)
+    table.add_row("  inconsistent", summary.both_inconsistent)
+    table.add_row("  inconclusive", summary.both_inconclusive)
+    table.add_row("Pin only on Android", summary.android_only)
+    table.add_row("  inconsistent", summary.android_only_inconsistent)
+    table.add_row("  inconclusive", summary.android_only_inconclusive)
+    table.add_row("Pin only on iOS", summary.ios_only)
+    table.add_row("  inconsistent", summary.ios_only_inconsistent)
+    table.add_row("  inconclusive", summary.ios_only_inconclusive)
+    return table
+
+
+def figure3_table(
+    named: List[Tuple[str, ConsistencyClassification]],
+) -> Table:
+    """Figure 3: both-platform inconsistent apps' heat-map values."""
+    table = Table(
+        title="Figure 3: Inconsistent pinning in apps that pin on both platforms",
+        headers=[
+            "App",
+            "Pinned overlap (Jaccard)",
+            "% Android-pinned unpinned on iOS",
+            "% iOS-pinned unpinned on Android",
+        ],
+    )
+    for name, c in named:
+        if c.pins_both and c.verdict == "inconsistent":
+            table.add_row(
+                name,
+                f"{c.jaccard:.2f}",
+                percent(c.android_cross_unpinned, 0),
+                percent(c.ios_cross_unpinned, 0),
+            )
+    return table
+
+
+def figure4_tables(
+    named: List[Tuple[str, ConsistencyClassification]],
+) -> Tuple[Table, Table]:
+    """Figure 4: exclusive-platform pinners' cross-unpinned percentages."""
+    android = Table(
+        title="Figure 4a: Apps pinning exclusively on Android",
+        headers=["App", "% pinned domains unpinned on iOS", "Verdict"],
+    )
+    ios = Table(
+        title="Figure 4b: Apps pinning exclusively on iOS",
+        headers=["App", "% pinned domains unpinned on Android", "Verdict"],
+    )
+    for name, c in named:
+        if c.pins_android and not c.pins_ios:
+            android.add_row(
+                name, percent(c.android_cross_unpinned, 0), c.verdict
+            )
+        elif c.pins_ios and not c.pins_android:
+            ios.add_row(name, percent(c.ios_cross_unpinned, 0), c.verdict)
+    return android, ios

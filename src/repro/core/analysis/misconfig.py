@@ -1,0 +1,95 @@
+"""NSC misconfiguration analysis (Possemato et al., USENIX Sec'20).
+
+Prior work found Network Security Configurations where a pin-set is
+declared but neutralised by a ``<certificates overridePins="true">``
+trust-anchor entry — the pins look like protection in static analysis yet
+enforce nothing.  This module counts those cases and cross-checks them
+against dynamic results: a correctly implemented pipeline should see the
+overridden domains as *unpinned* at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.dynamic.pipeline import DynamicAppResult
+from repro.core.static.report import StaticAppReport
+from repro.reporting.tables import Table
+
+
+@dataclass
+class MisconfigFinding:
+    """One app with an overridden pin-set."""
+
+    app_id: str
+    pinned_domains_declared: List[str]
+    enforced_at_runtime: Optional[bool] = None
+
+
+@dataclass
+class MisconfigReport:
+    """NSC misconfiguration summary."""
+
+    apps_with_nsc_pins: int = 0
+    misconfigured: List[MisconfigFinding] = field(default_factory=list)
+
+    @property
+    def misconfigured_count(self) -> int:
+        return len(self.misconfigured)
+
+    @property
+    def misconfiguration_rate(self) -> float:
+        if not self.apps_with_nsc_pins:
+            return 0.0
+        return self.misconfigured_count / self.apps_with_nsc_pins
+
+
+def find_nsc_misconfigurations(
+    static_reports: Sequence[StaticAppReport],
+    dynamic_results: Optional[Sequence[DynamicAppResult]] = None,
+) -> MisconfigReport:
+    """Scan static reports for overridden pin-sets.
+
+    Args:
+        static_reports: per-app static results (Android).
+        dynamic_results: optional matching dynamic results; when given,
+            each finding records whether *any* declared NSC domain was
+            actually enforced (detected pinned) at run time.
+    """
+    dynamic_by_app: Dict[str, DynamicAppResult] = {}
+    if dynamic_results:
+        dynamic_by_app = {r.app_id: r for r in dynamic_results}
+
+    report = MisconfigReport()
+    for static in static_reports:
+        if not static.nsc.has_pins:
+            continue
+        report.apps_with_nsc_pins += 1
+        if not static.nsc.misconfigured_override:
+            continue
+        finding = MisconfigFinding(
+            app_id=static.app_id,
+            pinned_domains_declared=list(static.nsc.overridden_domains),
+        )
+        dynamic = dynamic_by_app.get(static.app_id)
+        if dynamic is not None:
+            finding.enforced_at_runtime = bool(
+                set(finding.pinned_domains_declared)
+                & dynamic.pinned_destinations
+            )
+        report.misconfigured.append(finding)
+    return report
+
+
+def misconfig_table(report: MisconfigReport) -> Table:
+    table = Table(
+        title="NSC pin-sets neutralised by overridePins (Possemato et al.)",
+        headers=["Apps with NSC pins", "Misconfigured", "Rate"],
+    )
+    table.add_row(
+        report.apps_with_nsc_pins,
+        report.misconfigured_count,
+        f"{report.misconfiguration_rate:.1%}",
+    )
+    return table

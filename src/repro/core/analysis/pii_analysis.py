@@ -1,0 +1,81 @@
+"""Table 9 assembly: PII in pinned vs non-pinned traffic (Section 5.5).
+
+Pinned flows come from the circumvention re-runs (only decrypted pinned
+traffic is readable); non-pinned flows come from the ordinary MITM runs,
+where default validation accepted the proxy certificate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.circumvent.pipeline import CircumventionResult
+from repro.core.dynamic.pipeline import DynamicAppResult
+from repro.core.pii.compare import PIIComparison, compare_pii_prevalence
+from repro.core.pii.detector import PIIDetector
+from repro.device.identifiers import DeviceIdentifiers
+from repro.netsim.flow import FlowRecord
+from repro.reporting.tables import Table, percent
+
+#: The PII types Table 9 reports per platform, in paper order.
+TABLE9_TYPES = ("ad_id", "email", "state", "city", "latitude")
+
+
+def collect_non_pinned_flows(
+    results: Sequence[DynamicAppResult],
+) -> List[FlowRecord]:
+    """Decrypted MITM flows to destinations that were not pinned."""
+    flows: List[FlowRecord] = []
+    for result in results:
+        pinned = result.pinned_destinations
+        excluded = result.excluded_destinations
+        for flow in result.mitm_capture:
+            if not flow.plaintext_visible or flow.os_initiated:
+                continue
+            if flow.sni in pinned or flow.sni in excluded:
+                continue
+            flows.append(flow)
+    return flows
+
+
+def collect_pinned_flows(
+    circumventions: Sequence[CircumventionResult],
+) -> List[FlowRecord]:
+    """Decrypted flows to pinned destinations from the hooked re-runs."""
+    flows: List[FlowRecord] = []
+    for circ in circumventions:
+        flows.extend(circ.decrypted_pinned_flows())
+    return flows
+
+
+def platform_pii_comparison(
+    platform: str,
+    identifiers: DeviceIdentifiers,
+    dynamic_results: Sequence[DynamicAppResult],
+    circumventions: Sequence[CircumventionResult],
+) -> PIIComparison:
+    detector = PIIDetector(identifiers)
+    return compare_pii_prevalence(
+        platform,
+        detector,
+        collect_pinned_flows(circumventions),
+        collect_non_pinned_flows(dynamic_results),
+    )
+
+
+def pii_table(comparisons: Iterable[PIIComparison]) -> Table:
+    table = Table(
+        title="Table 9: PII in pinned vs non-pinned TLS connections",
+        headers=["Platform", "PII", "Pinned", "Non-Pinned", "Significant (p<0.05)"],
+    )
+    for comparison in comparisons:
+        for pii_type in TABLE9_TYPES:
+            row = comparison.row(pii_type)
+            table.add_row(
+                comparison.platform.capitalize(),
+                pii_type,
+                percent(row.pinned_rate),
+                percent(row.non_pinned_rate),
+                "*" if row.significant else "",
+            )
+    return table

@@ -1,0 +1,92 @@
+"""Detector scoring against corpus ground truth.
+
+The original study had no ground truth — it could only argue its detector
+was a lower bound.  The simulation knows exactly which destinations each
+app pins, so detector quality is measurable.  This module is the public
+API for that: per-destination and per-app precision/recall for any set of
+dynamic results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.dynamic.pipeline import DynamicAppResult
+from repro.corpus.datasets import AppCorpus
+
+
+@dataclass
+class DetectionScore:
+    """Confusion counts plus derived metrics."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def add(self, truth: Set[str], detected: Set[str]) -> None:
+        self.true_positives += len(truth & detected)
+        self.false_positives += len(detected - truth)
+        self.false_negatives += len(truth - detected)
+
+
+def ground_truth_pinned(
+    corpus: AppCorpus, app_id: str, window_s: float = 30.0
+) -> Set[str]:
+    """Destinations an app pins *and* contacts inside the capture window.
+
+    Pinned domains the app never contacts during the test are invisible to
+    any dynamic method and are excluded from scoring (the paper's "partial
+    observation" limitation, Section 5.6).
+    """
+    app = corpus.find_app(app_id).app
+    return {
+        u.hostname
+        for u in app.behavior.usages_within(window_s)
+        if app.pins_domain(u.hostname)
+    }
+
+
+def score_destinations(
+    corpus: AppCorpus,
+    results: Iterable[DynamicAppResult],
+    window_s: float = 30.0,
+) -> DetectionScore:
+    """Destination-level score over a set of dynamic results."""
+    score = DetectionScore()
+    for result in results:
+        truth = ground_truth_pinned(corpus, result.app_id, window_s)
+        score.add(truth, set(result.pinned_destinations))
+    return score
+
+
+def score_apps(
+    corpus: AppCorpus, results: Iterable[DynamicAppResult]
+) -> DetectionScore:
+    """App-level score: does the app pin at all?"""
+    score = DetectionScore()
+    for result in results:
+        pins_truth = corpus.find_app(result.app_id).app.pins_at_runtime()
+        pins_detected = result.pins()
+        if pins_truth and pins_detected:
+            score.true_positives += 1
+        elif pins_detected and not pins_truth:
+            score.false_positives += 1
+        elif pins_truth and not pins_detected:
+            score.false_negatives += 1
+    return score

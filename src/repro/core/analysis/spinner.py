@@ -1,0 +1,147 @@
+"""Spinner-style hostname-verification probing (Stone et al., ACSAC'17).
+
+The paper's §2.2 builds on Stone et al., who detected pinned connections
+that fail to validate certificate *hostnames*: an app that pins a CA but
+skips hostname verification accepts any certificate that CA issues —
+including one the attacker legitimately bought for their own domain.
+
+The probe: for each pinned destination whose chain anchors in the default
+PKI, obtain a certificate for an attacker-controlled hostname from the
+same issuing CA and ask the app's validation policy to evaluate it for
+the pinned destination.  Acceptance ⇒ vulnerable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.dynamic.pipeline import DynamicAppResult
+from repro.corpus.datasets import AppCorpus
+from repro.pki.chain import CertificateChain
+from repro.pki.store import RootStore
+from repro.reporting.tables import Table
+from repro.util.simtime import STUDY_START
+
+ATTACKER_HOSTNAME = "attacker-controlled.example"
+
+
+@dataclass(frozen=True)
+class SpinnerFinding:
+    """One probed (app, destination) pair."""
+
+    app_id: str
+    destination: str
+    vulnerable: bool
+    reason: str  # "accepted_probe" / "rejected" / "not_probeable"
+
+
+def build_probe_chain(
+    corpus: AppCorpus, destination: str
+) -> Optional[CertificateChain]:
+    """A chain for the attacker hostname, issued by the destination's CA.
+
+    Returns None when no probe is possible: the destination is unknown,
+    self-signed, or runs a PKI the attacker cannot obtain issuance from
+    (custom roots).
+    """
+    if not corpus.registry.knows(destination):
+        return None
+    endpoint = corpus.registry.resolve(destination)
+    chain = endpoint.chain
+    if len(chain) < 2 or endpoint.pki_kind != "default":
+        return None
+    issuer = corpus.hierarchy.authority_for_certificate(chain.certificates[1])
+    if issuer is None:
+        return None
+    probe_leaf, _ = issuer.issue(
+        ATTACKER_HOSTNAME,
+        san=(ATTACKER_HOSTNAME,),
+        not_before=STUDY_START.plus_days(-1),
+    )
+    return CertificateChain((probe_leaf,) + chain.certificates[1:])
+
+
+def probe_app(
+    corpus: AppCorpus,
+    result: DynamicAppResult,
+    device_store: RootStore,
+) -> List[SpinnerFinding]:
+    """Probe every pinned destination of one app."""
+    app = corpus.find_app(result.app_id).app
+    policy = app.runtime_policy(device_store)
+    findings: List[SpinnerFinding] = []
+    for destination in sorted(result.pinned_destinations):
+        probe = build_probe_chain(corpus, destination)
+        if probe is None:
+            findings.append(
+                SpinnerFinding(result.app_id, destination, False, "not_probeable")
+            )
+            continue
+        accepted = policy.accepts(probe, destination, STUDY_START)
+        findings.append(
+            SpinnerFinding(
+                result.app_id,
+                destination,
+                accepted,
+                "accepted_probe" if accepted else "rejected",
+            )
+        )
+    return findings
+
+
+@dataclass
+class SpinnerReport:
+    """Aggregate probe outcome for one platform."""
+
+    platform: str
+    findings: List[SpinnerFinding] = field(default_factory=list)
+
+    @property
+    def probed(self) -> int:
+        return sum(1 for f in self.findings if f.reason != "not_probeable")
+
+    @property
+    def vulnerable(self) -> int:
+        return sum(1 for f in self.findings if f.vulnerable)
+
+    def vulnerable_apps(self) -> List[str]:
+        return sorted({f.app_id for f in self.findings if f.vulnerable})
+
+    @property
+    def vulnerability_rate(self) -> float:
+        return self.vulnerable / self.probed if self.probed else 0.0
+
+
+def spinner_scan(
+    corpus: AppCorpus,
+    platform: str,
+    results: Sequence[DynamicAppResult],
+    device_store: RootStore,
+) -> SpinnerReport:
+    """Run the probe over every pinning app in a result set."""
+    report = SpinnerReport(platform=platform)
+    for result in results:
+        if not result.pins():
+            continue
+        report.findings.extend(probe_app(corpus, result, device_store))
+    return report
+
+
+def spinner_table(reports: Iterable[SpinnerReport]) -> Table:
+    table = Table(
+        title=(
+            "Spinner probe: pinned destinations accepting same-CA "
+            "certificates for other hostnames"
+        ),
+        headers=["Platform", "Probed", "Vulnerable", "Rate", "Apps affected"],
+    )
+    for report in reports:
+        table.add_row(
+            report.platform.capitalize(),
+            report.probed,
+            report.vulnerable,
+            f"{report.vulnerability_rate:.1%}",
+            len(report.vulnerable_apps()),
+        )
+    return table

@@ -1,0 +1,299 @@
+"""The end-to-end study orchestrator.
+
+:class:`Study` runs the full measurement over a corpus — static analysis,
+the two-setting dynamic experiments (with the Common-iOS re-run),
+circumvention and PII analysis — and :class:`StudyResults` exposes one
+method per paper table/figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.analysis import categories as categories_mod
+from repro.core.analysis import certificates as certificates_mod
+from repro.core.analysis import consistency as consistency_mod
+from repro.core.analysis import destinations as destinations_mod
+from repro.core.analysis import frameworks as frameworks_mod
+from repro.core.analysis import pii_analysis as pii_mod
+from repro.core.analysis import prevalence as prevalence_mod
+from repro.core.analysis import security as security_mod
+from repro.core.circumvent.pipeline import (
+    CircumventionPipeline,
+    CircumventionResult,
+)
+from repro.core.dynamic.pipeline import DynamicAppResult, DynamicPipeline
+from repro.core.pii.compare import PIIComparison
+from repro.core.static.pipeline import StaticPipeline
+from repro.core.static.report import StaticAppReport
+from repro.corpus.datasets import AppCorpus, DatasetKey
+from repro.reporting.tables import Table
+
+
+@dataclass
+class StudyResults:
+    """Everything a full study run produced."""
+
+    corpus: AppCorpus
+    static_reports: Dict[DatasetKey, List[StaticAppReport]]
+    dynamic_results: Dict[DatasetKey, List[DynamicAppResult]]
+    circumvention: Dict[str, List[CircumventionResult]]
+    pii: Dict[str, PIIComparison]
+
+    # -- lookup helpers -------------------------------------------------------
+
+    def dynamic_by_app(self, platform: str) -> Dict[str, DynamicAppResult]:
+        out: Dict[str, DynamicAppResult] = {}
+        for (plat, _), results in sorted(self.dynamic_results.items()):
+            if plat != platform:
+                continue
+            for result in results:
+                out.setdefault(result.app_id, result)
+        return out
+
+    def static_by_app(self, platform: str) -> Dict[str, StaticAppReport]:
+        out: Dict[str, StaticAppReport] = {}
+        for (plat, _), reports in sorted(self.static_reports.items()):
+            if plat != platform:
+                continue
+            for report in reports:
+                out.setdefault(report.app_id, report)
+        return out
+
+    def all_dynamic(self, platform: str) -> List[DynamicAppResult]:
+        return list(self.dynamic_by_app(platform).values())
+
+    def pair_classifications(
+        self,
+    ) -> List[Tuple[str, consistency_mod.ConsistencyClassification]]:
+        """Classify every Common pair (Section 5.1)."""
+        android_results = {
+            r.app_id: r for r in self.dynamic_results[("android", "common")]
+        }
+        ios_results = {
+            r.app_id: r for r in self.dynamic_results[("ios", "common")]
+        }
+        named = []
+        for android_pkg, ios_pkg in self.corpus.common_pairs():
+            a = android_results.get(android_pkg.app.app_id)
+            i = ios_results.get(ios_pkg.app.app_id)
+            if a is None or i is None:
+                continue
+            obs = consistency_mod.PairObservation.from_results(a, i)
+            named.append(
+                (android_pkg.app.name, consistency_mod.classify_pair(obs))
+            )
+        return named
+
+    # -- tables -----------------------------------------------------------------
+
+    def _prevalence_cells(self):
+        cells = {}
+        for key in self.static_reports:
+            cells[key] = prevalence_mod.dataset_prevalence(
+                self.static_reports[key], self.dynamic_results[key]
+            )
+        return cells
+
+    def table1(self) -> Table:
+        return categories_mod.dataset_category_table(self.corpus)
+
+    def table2(self) -> Table:
+        return prevalence_mod.prior_work_table(self._prevalence_cells())
+
+    def table3(self) -> Table:
+        return prevalence_mod.prevalence_table(self._prevalence_cells())
+
+    def table4(self) -> Table:
+        return categories_mod.category_pinning_table(
+            self.corpus, "android", self.dynamic_by_app("android")
+        )
+
+    def table5(self) -> Table:
+        return categories_mod.category_pinning_table(
+            self.corpus, "ios", self.dynamic_by_app("ios")
+        )
+
+    def table6(self) -> Table:
+        rows = [
+            certificates_mod.classify_pinned_destinations(
+                self.corpus, platform, self.all_dynamic(platform)
+            )
+            for platform in ("android", "ios")
+        ]
+        return certificates_mod.pki_table(rows)
+
+    def table7(self) -> Table:
+        return frameworks_mod.frameworks_table(
+            self.static_by_app("android").values(),
+            self.static_by_app("ios").values(),
+        )
+
+    def table8(self) -> Table:
+        cells = {
+            key: security_mod.analyze_ciphers(results)
+            for key, results in self.dynamic_results.items()
+        }
+        return security_mod.cipher_table(cells)
+
+    def table9(self) -> Table:
+        return pii_mod.pii_table(
+            [self.pii[p] for p in ("ios", "android") if p in self.pii]
+        )
+
+    # -- figures ----------------------------------------------------------------
+
+    def figure2(self) -> Table:
+        summary = consistency_mod.summarize_pairs(
+            [c for _, c in self.pair_classifications()]
+        )
+        return consistency_mod.figure2_table(summary)
+
+    def figure3(self) -> Table:
+        return consistency_mod.figure3_table(self.pair_classifications())
+
+    def figure4(self) -> Tuple[Table, Table]:
+        return consistency_mod.figure4_tables(self.pair_classifications())
+
+    def figure5(self) -> Table:
+        return destinations_mod.figure5_table(self.destination_profiles())
+
+    def destination_profiles(self):
+        return destinations_mod.build_destination_profiles(
+            self.corpus, self.dynamic_results
+        )
+
+    def circumvention_rate(self, platform: str) -> float:
+        return CircumventionPipeline.destination_bypass_rate(
+            self.circumvention.get(platform, [])
+        )
+
+    # -- extensions ---------------------------------------------------------------
+
+    def spinner_report(self, platform: str):
+        """Stone-et-al-style hostname-verification probe results."""
+        from repro.core.analysis.spinner import spinner_scan
+
+        store = (
+            self.corpus.stores.android_aosp
+            if platform == "android"
+            else self.corpus.stores.ios
+        )
+        return spinner_scan(
+            self.corpus, platform, self.all_dynamic(platform), store
+        )
+
+    def nsc_misconfig_report(self):
+        """Possemato-et-al-style NSC overridePins findings (Android)."""
+        from repro.core.analysis.misconfig import find_nsc_misconfigurations
+
+        return find_nsc_misconfigurations(
+            list(self.static_by_app("android").values()),
+            self.all_dynamic("android"),
+        )
+
+    def detection_scores(self):
+        """Per-dataset detector precision/recall against ground truth."""
+        from repro.core.analysis.scoring import score_destinations
+
+        return {
+            key: score_destinations(self.corpus, results)
+            for key, results in sorted(self.dynamic_results.items())
+        }
+
+
+class Study:
+    """Run the full paper measurement over one corpus."""
+
+    def __init__(self, corpus: AppCorpus, sleep_s: float = 30.0):
+        self.corpus = corpus
+        self.dynamic_pipeline = DynamicPipeline(corpus, sleep_s=sleep_s)
+        self.static_pipeline = StaticPipeline(corpus.registry.ctlog)
+        self.circumvention_pipeline = CircumventionPipeline(self.dynamic_pipeline)
+
+    def _run_common_with_rerun(
+        self,
+    ) -> Tuple[List[DynamicAppResult], List[DynamicAppResult]]:
+        """Initial Common passes plus the Section 4.5 iOS re-run.
+
+        The paper re-ran the 72 Common apps that pinned *on either
+        platform*, with a two-minute install-to-launch wait, and used
+        those results for the iOS Common numbers.
+        """
+        android = self.dynamic_pipeline.run_dataset("android", "common")
+        ios = self.dynamic_pipeline.run_dataset("ios", "common")
+
+        android_by_id = {r.app_id: r for r in android}
+        ios_by_id = {r.app_id: r for r in ios}
+        ios_packaged = {
+            p.app.app_id: p for p in self.corpus.dataset("ios", "common")
+        }
+
+        rerun_ids = set()
+        for android_pkg, ios_pkg in self.corpus.common_pairs():
+            a = android_by_id.get(android_pkg.app.app_id)
+            i = ios_by_id.get(ios_pkg.app.app_id)
+            if (a is not None and a.pins()) or (i is not None and i.pins()):
+                rerun_ids.add(ios_pkg.app.app_id)
+
+        for index, result in enumerate(ios):
+            if result.app_id in rerun_ids:
+                ios[index] = self.dynamic_pipeline.run_app(
+                    ios_packaged[result.app_id], pre_launch_wait_s=120.0
+                )
+        return android, ios
+
+    def run(self) -> StudyResults:
+        """Execute every pipeline stage; deterministic for a given corpus."""
+        corpus = self.corpus
+
+        static_reports: Dict[DatasetKey, List[StaticAppReport]] = {}
+        for key, apps in sorted(corpus.datasets.items()):
+            static_reports[key] = self.static_pipeline.analyze_dataset(apps)
+
+        dynamic_results: Dict[DatasetKey, List[DynamicAppResult]] = {}
+        common_android, common_ios = self._run_common_with_rerun()
+        dynamic_results[("android", "common")] = common_android
+        dynamic_results[("ios", "common")] = common_ios
+        for dataset in ("popular", "random"):
+            for platform in ("android", "ios"):
+                dynamic_results[(platform, dataset)] = (
+                    self.dynamic_pipeline.run_dataset(platform, dataset)
+                )
+
+        circumvention: Dict[str, List[CircumventionResult]] = {
+            "android": [],
+            "ios": [],
+        }
+        for (platform, dataset), results in sorted(dynamic_results.items()):
+            packaged = corpus.dataset(platform, dataset)
+            circumvention[platform].extend(
+                self.circumvention_pipeline.circumvent_dataset(packaged, results)
+            )
+
+        pii: Dict[str, PIIComparison] = {}
+        for platform in ("android", "ios"):
+            device = (
+                self.dynamic_pipeline.android_device
+                if platform == "android"
+                else self.dynamic_pipeline.ios_device
+            )
+            all_results = []
+            for (plat, _), results in sorted(dynamic_results.items()):
+                if plat == platform:
+                    all_results.extend(results)
+            pii[platform] = pii_mod.platform_pii_comparison(
+                platform,
+                device.identifiers,
+                all_results,
+                circumvention[platform],
+            )
+
+        return StudyResults(
+            corpus=corpus,
+            static_reports=static_reports,
+            dynamic_results=dynamic_results,
+            circumvention=circumvention,
+            pii=pii,
+        )

@@ -1,0 +1,22 @@
+"""Pinning circumvention via run-time instrumentation (Section 4.3).
+
+Frida hooks into known TLS libraries and disables their certificate
+checks; apps using custom TLS stacks resist.  In the paper this unlocked
+~51.5 % of pinned destinations on Android and ~66.2 % on iOS.
+"""
+
+from repro.core.circumvent.frida import FridaSession, InstrumentationOutcome
+from repro.core.circumvent.hooks import HOOK_CATALOG, is_hookable
+from repro.core.circumvent.pipeline import (
+    CircumventionPipeline,
+    CircumventionResult,
+)
+
+__all__ = [
+    "CircumventionPipeline",
+    "CircumventionResult",
+    "FridaSession",
+    "HOOK_CATALOG",
+    "InstrumentationOutcome",
+    "is_hookable",
+]

@@ -1,0 +1,124 @@
+"""Circumvention pipeline: hook, re-run under MITM, collect plaintext.
+
+For each app dynamic analysis found pinning, attach Frida, disable every
+hookable check, and repeat the MITM experiment.  Traffic to bypassed
+pinned destinations decrypts; traffic to resistant (custom-TLS) pinned
+destinations still fails — the paper's ~51.5 % / ~66.2 % per-destination
+success rates are an emergent property of the mechanism mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.circumvent.frida import FridaSession, InstrumentationOutcome
+from repro.core.dynamic.pipeline import DynamicAppResult, DynamicPipeline
+from repro.device.automation import RunConfig
+from repro.netsim.capture import TrafficCapture
+
+
+@dataclass
+class CircumventionResult:
+    """Outcome for one pinning app.
+
+    Attributes:
+        app_id / platform: identity.
+        bypassed_destinations: pinned destinations whose traffic now
+            decrypts.
+        resistant_destinations: pinned destinations that still reject the
+            proxy.
+        hooked_capture: the MITM capture of the instrumented run.
+    """
+
+    app_id: str
+    platform: str
+    bypassed_destinations: Set[str] = field(default_factory=set)
+    resistant_destinations: Set[str] = field(default_factory=set)
+    hooked_capture: TrafficCapture = field(default_factory=TrafficCapture)
+
+    def decrypted_pinned_flows(self) -> List:
+        """Flows to pinned destinations that the proxy decrypted."""
+        return [
+            f
+            for f in self.hooked_capture
+            if f.sni in self.bypassed_destinations and f.plaintext_visible
+        ]
+
+
+class CircumventionPipeline:
+    """Runs hook-and-recapture over dynamic results."""
+
+    def __init__(self, dynamic: DynamicPipeline):
+        self.dynamic = dynamic
+        self.corpus = dynamic.corpus
+
+    def _device_for(self, platform: str):
+        return (
+            self.dynamic.android_device
+            if platform == "android"
+            else self.dynamic.ios_device
+        )
+
+    def circumvent_app(
+        self, packaged, result: DynamicAppResult
+    ) -> Optional[CircumventionResult]:
+        """Hook one pinning app and re-capture under MITM.
+
+        Returns None for apps with no pinned destinations (nothing to
+        circumvent).
+        """
+        pinned = result.pinned_destinations
+        if not pinned:
+            return None
+        app = packaged.app
+        device = self._device_for(app.platform)
+        session = FridaSession(device)
+        outcome = session.instrument(app.runtime_policy(device.system_store))
+
+        harness = self.dynamic._harnesses[app.platform]
+        capture = harness.run_app(
+            packaged,
+            RunConfig(
+                mitm=True,
+                sleep_s=self.dynamic.sleep_s,
+                transient_failure_prob=self.dynamic.transient_failure_prob,
+                policy_override=outcome.patched_policy,
+            ),
+        )
+
+        # A destination counts as circumvented when its pinned traffic
+        # actually decrypted in the hooked run.
+        decrypted = {
+            f.sni for f in capture if f.plaintext_visible and f.sni in pinned
+        }
+        return CircumventionResult(
+            app_id=app.app_id,
+            platform=app.platform,
+            bypassed_destinations=decrypted,
+            resistant_destinations=pinned - decrypted,
+            hooked_capture=capture,
+        )
+
+    def circumvent_dataset(
+        self, packaged_apps: List, results: List[DynamicAppResult]
+    ) -> List[CircumventionResult]:
+        out: List[CircumventionResult] = []
+        by_id = {p.app.app_id: p for p in packaged_apps}
+        for result in results:
+            if not result.pins():
+                continue
+            circ = self.circumvent_app(by_id[result.app_id], result)
+            if circ is not None:
+                out.append(circ)
+        return out
+
+    @staticmethod
+    def destination_bypass_rate(results: List[CircumventionResult]) -> float:
+        """Unique pinned destinations circumvented / all unique pinned."""
+        bypassed: Set[str] = set()
+        all_pinned: Set[str] = set()
+        for r in results:
+            bypassed |= r.bypassed_destinations
+            all_pinned |= r.bypassed_destinations | r.resistant_destinations
+        return len(bypassed) / len(all_pinned) if all_pinned else 0.0

@@ -1,0 +1,28 @@
+"""Dynamic analysis pipeline (Section 4.2).
+
+Run every app twice — without and with TLS interception — and mark a
+destination *pinned* when it carries application data in the baseline but
+always fails under interception.  The used/failed classifiers work from
+wire-visible record patterns only (including the TLS 1.3 heuristics);
+ground-truth flow fields are never consulted.
+"""
+
+from repro.core.dynamic.classify import connection_failed, connection_used
+from repro.core.dynamic.detector import (
+    DestinationVerdict,
+    detect_pinned_destinations,
+    naive_detect_pinned_destinations,
+)
+from repro.core.dynamic.pipeline import DynamicAppResult, DynamicPipeline
+from repro.core.dynamic.background import ios_excluded_destinations
+
+__all__ = [
+    "DestinationVerdict",
+    "DynamicAppResult",
+    "DynamicPipeline",
+    "connection_failed",
+    "connection_used",
+    "detect_pinned_destinations",
+    "ios_excluded_destinations",
+    "naive_detect_pinned_destinations",
+]

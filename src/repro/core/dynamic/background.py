@@ -1,0 +1,49 @@
+"""iOS background-traffic handling (Section 4.5).
+
+Two exclusions keep OS-initiated traffic from polluting the verdicts:
+
+* Apple-controlled domains (``icloud.com``, ``apple.com``,
+  ``mzstatic.com``) see continuous OS traffic for the whole capture;
+* "associated domains" from the app's entitlements are contacted by an
+  OS daemon at install time to verify app/website association.  That
+  daemon ignores user-installed CAs, so its traffic looks pinned, and it
+  shares the app TLS fingerprint — the only safe treatment is to exclude
+  those destinations, accepting possible false negatives.
+
+The alternative methodology — wait two minutes after install so the
+verification finishes before the capture starts — is implemented in the
+pipeline's Common-dataset re-run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.appmodel.ios import IOSApp
+from repro.appmodel.plist import Entitlements
+from repro.device.ios import APPLE_BACKGROUND_DOMAINS
+from repro.errors import AppModelError
+
+
+def associated_domains_from_package(packaged: IOSApp) -> List[str]:
+    """Read the associated domains out of the app's entitlements file.
+
+    Reads the *package* (like the real pipeline), not the ground-truth
+    app object; requires the payload to be decrypted already.
+    """
+    tree = packaged.ipa.payload()
+    for node in tree.walk():
+        if node.path.endswith(".xcent"):
+            try:
+                entitlements = Entitlements.from_plist_xml(node.content)
+            except AppModelError:
+                continue
+            return list(entitlements.associated_domains)
+    return []
+
+
+def ios_excluded_destinations(packaged: IOSApp) -> Set[str]:
+    """The full exclusion list for one iOS app's detection run."""
+    excluded: Set[str] = set(APPLE_BACKGROUND_DOMAINS)
+    excluded.update(associated_domains_from_package(packaged))
+    return excluded

@@ -1,0 +1,66 @@
+"""Used/failed connection classification (Section 4.2.2).
+
+**Used connection.**  For TLS 1.2 and below, any wire-visible "Encrypted
+Application Data" record means the connection carried data.  TLS 1.3
+disguises *all* encrypted records (handshake finished, alerts, data) as
+application data, so two heuristics apply to the client's records:
+
+1. more than two application-data records, or
+2. exactly two, where the second's length differs from an encrypted
+   alert's.
+
+The reasoning: the first encrypted client record must be Handshake
+Finished; a second alert-sized record is a close/alert; a third record (or
+a non-alert-sized second) can only be data.
+
+**Failed connection.**  A connection that goes unused *and* is aborted
+with TCP RST or FIN — distinguishing pinning rejections and genuine
+failures from connections that simply idled past the capture window.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.flow import FlowRecord
+from repro.tls.records import (
+    Direction,
+    TLS13_ENCRYPTED_ALERT_LEN,
+    TLSVersion,
+    encrypted_application_data,
+)
+
+
+def connection_used(flow: FlowRecord, tls13_heuristics: bool = True) -> bool:
+    """Did this connection carry application data? (wire-visible only)
+
+    Args:
+        flow: the captured connection.
+        tls13_heuristics: apply the Section 4.2.2 TLS 1.3 rules.  With
+            ``False`` (the ablation), TLS 1.3 flows are judged by the
+            naive TLS 1.2 rule — any wire-visible application-data record
+            counts — which mistakes disguised Finished/alert records for
+            application data.
+    """
+    client_app_data = encrypted_application_data(
+        flow.trace.records, Direction.CLIENT_TO_SERVER
+    )
+    if flow.version is None:
+        return False
+    if flow.version is not TLSVersion.TLS13 or not tls13_heuristics:
+        server_app_data = encrypted_application_data(
+            flow.trace.records, Direction.SERVER_TO_CLIENT
+        )
+        return bool(client_app_data or server_app_data)
+
+    # TLS 1.3 heuristics.
+    if len(client_app_data) > 2:
+        return True
+    if len(client_app_data) == 2:
+        return client_app_data[1].length != TLS13_ENCRYPTED_ALERT_LEN
+    return False
+
+
+def connection_failed(flow: FlowRecord) -> bool:
+    """Unused and aborted (RST or FIN) — the paper's failure definition."""
+    if connection_used(flow):
+        return False
+    return flow.trace.aborted()

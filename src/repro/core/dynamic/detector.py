@@ -1,0 +1,131 @@
+"""Differential pinning detection (Section 4.2.2).
+
+A destination is marked **pinned** when:
+
+* at least one of its connections in the *non-MITM* capture was used, and
+* it has connections in the *MITM* capture, all of which failed.
+
+The point of the differential is the confounders: TLS alerts and resets
+occur for non-pinning reasons (version mismatches, server flakiness), and
+apps open redundant connections they never use.  The naive detector — mark
+pinned on any MITM failure — is implemented alongside for the ablation
+that quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.dynamic.classify import connection_failed, connection_used
+from repro.netsim.capture import TrafficCapture
+from repro.servers.parties import registrable_domain
+
+
+@dataclass
+class DestinationVerdict:
+    """Per-destination detection outcome.
+
+    Attributes:
+        destination: the SNI hostname.
+        used_direct: carried data in the baseline setting.
+        mitm_observed: appeared in the interception capture.
+        mitm_all_failed: every interception connection failed.
+        pinned: the differential verdict.
+        excluded: dropped before detection (iOS background handling).
+    """
+
+    destination: str
+    used_direct: bool = False
+    mitm_observed: bool = False
+    mitm_all_failed: bool = False
+    pinned: bool = False
+    excluded: bool = False
+
+
+def _apply_exclusions(
+    destinations: Set[str], excluded_domains: Iterable[str]
+) -> Set[str]:
+    """Resolve the exclusion list against observed destinations.
+
+    A *registrable-domain* entry (``icloud.com``) excludes all its
+    subdomains — the treatment for Apple background domains.  A deeper
+    hostname entry (``www.vendor.com``, an associated domain) excludes
+    exactly that host: excluding the whole registrable domain would wipe
+    out legitimately pinned sibling hosts like ``api.vendor.com``.
+    """
+    exact: Set[str] = set()
+    wide: Set[str] = set()
+    for entry in excluded_domains:
+        entry = entry.lower()
+        if entry == registrable_domain(entry):
+            wide.add(entry)
+        else:
+            exact.add(entry)
+    return {
+        d
+        for d in destinations
+        if d in exact or registrable_domain(d) in wide
+    }
+
+
+def detect_pinned_destinations(
+    direct: TrafficCapture,
+    intercepted: TrafficCapture,
+    excluded_domains: Iterable[str] = (),
+) -> Dict[str, DestinationVerdict]:
+    """Run the differential detector over one app's two captures.
+
+    Args:
+        direct: the non-MITM capture.
+        intercepted: the MITM capture.
+        excluded_domains: registrable domains to drop (Apple background
+            domains, the app's associated domains).
+
+    Returns:
+        destination → verdict, including excluded destinations (marked).
+    """
+    destinations = direct.destinations() | intercepted.destinations()
+    excluded = _apply_exclusions(destinations, excluded_domains)
+
+    direct_by_dest = direct.by_destination()
+    mitm_by_dest = intercepted.by_destination()
+
+    verdicts: Dict[str, DestinationVerdict] = {}
+    for destination in sorted(destinations):
+        verdict = DestinationVerdict(destination=destination)
+        if destination in excluded:
+            verdict.excluded = True
+            verdicts[destination] = verdict
+            continue
+
+        direct_flows = direct_by_dest.get(destination, [])
+        mitm_flows = mitm_by_dest.get(destination, [])
+        verdict.used_direct = any(connection_used(f) for f in direct_flows)
+        verdict.mitm_observed = bool(mitm_flows)
+        verdict.mitm_all_failed = bool(mitm_flows) and all(
+            connection_failed(f) for f in mitm_flows
+        )
+        verdict.pinned = verdict.used_direct and verdict.mitm_all_failed
+        verdicts[destination] = verdict
+    return verdicts
+
+
+def naive_detect_pinned_destinations(
+    intercepted: TrafficCapture,
+    excluded_domains: Iterable[str] = (),
+) -> Set[str]:
+    """Ablation baseline: any MITM failure ⇒ pinned.
+
+    No baseline capture, no used-connection requirement — the approach the
+    differential design exists to improve on.
+    """
+    destinations = intercepted.destinations()
+    excluded = _apply_exclusions(destinations, excluded_domains)
+    flagged: Set[str] = set()
+    for destination, flows in intercepted.by_destination().items():
+        if destination in excluded:
+            continue
+        if any(connection_failed(f) for f in flows):
+            flagged.add(destination)
+    return flagged

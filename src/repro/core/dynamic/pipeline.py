@@ -1,0 +1,200 @@
+"""Dynamic-pipeline orchestration (Figure 1, steps 4–6).
+
+One shared proxy and one device per platform; each app runs twice
+(baseline and interception) through the automation harness, then the
+differential detector produces per-destination verdicts.
+
+The Common-iOS re-run (Section 4.5) is available via
+:meth:`DynamicPipeline.run_dataset` with ``rerun_ios_wait=True``: after an
+initial pass, apps found pinning are re-measured with a two-minute
+install-to-launch wait so associated-domain verification traffic never
+enters the capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.appmodel.android import AndroidApp
+from repro.appmodel.ios import IOSApp
+from repro.core.dynamic.background import ios_excluded_destinations
+from repro.core.dynamic.detector import (
+    DestinationVerdict,
+    detect_pinned_destinations,
+)
+from repro.corpus.datasets import AppCorpus
+from repro.device.android import AndroidDevice
+from repro.device.automation import AutomationHarness, RunConfig
+from repro.device.ios import IOSDevice
+from repro.netsim.capture import TrafficCapture
+from repro.netsim.proxy import MITMProxy
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class DynamicAppResult:
+    """Detection outcome for one app."""
+
+    app_id: str
+    platform: str
+    verdicts: Dict[str, DestinationVerdict] = field(default_factory=dict)
+    direct_capture: TrafficCapture = field(default_factory=TrafficCapture)
+    mitm_capture: TrafficCapture = field(default_factory=TrafficCapture)
+    excluded_destinations: Set[str] = field(default_factory=set)
+    reran_with_wait: bool = False
+
+    @property
+    def pinned_destinations(self) -> Set[str]:
+        return {d for d, v in self.verdicts.items() if v.pinned}
+
+    @property
+    def not_pinned_destinations(self) -> Set[str]:
+        """Destinations observed (and not excluded) but not pinned."""
+        return {
+            d
+            for d, v in self.verdicts.items()
+            if not v.pinned and not v.excluded
+        }
+
+    def pins(self) -> bool:
+        """Table 3's per-app predicate: at least one pinned destination."""
+        return bool(self.pinned_destinations)
+
+
+class DynamicPipeline:
+    """Runs the two-setting experiment over corpus datasets."""
+
+    def __init__(
+        self,
+        corpus: AppCorpus,
+        sleep_s: float = 30.0,
+        transient_failure_prob: float = 0.015,
+    ):
+        self.corpus = corpus
+        self.sleep_s = sleep_s
+        self.transient_failure_prob = transient_failure_prob
+        rng = DeterministicRng(corpus.seed).child("dynamic")
+        self.proxy = MITMProxy(rng.child("proxy"))
+        self.android_device = AndroidDevice(
+            corpus.stores.android_aosp,
+            rng.child("pixel3"),
+            proxy_ca=self.proxy.ca_certificate,
+        )
+        self.ios_device = IOSDevice(
+            corpus.stores.ios,
+            rng.child("iphonex"),
+            proxy_ca=self.proxy.ca_certificate,
+        )
+        self._harnesses = {
+            "android": AutomationHarness(
+                self.android_device,
+                corpus.registry,
+                self.proxy,
+                rng.child("harness", "android"),
+            ),
+            "ios": AutomationHarness(
+                self.ios_device,
+                corpus.registry,
+                self.proxy,
+                rng.child("harness", "ios"),
+            ),
+        }
+
+    def _exclusions_for(self, packaged) -> Set[str]:
+        if isinstance(packaged, IOSApp):
+            if packaged.ipa.encrypted:
+                # Reading entitlements needs the decrypted payload; the
+                # jailbroken device makes that possible on demand.  Without
+                # one, the Apple-domain exclusion (which needs no package
+                # access) still applies — only the associated-domains list
+                # is unavailable.
+                if not self.ios_device.jailbroken:
+                    from repro.device.ios import APPLE_BACKGROUND_DOMAINS
+
+                    return set(APPLE_BACKGROUND_DOMAINS)
+                packaged.ipa.decrypt()
+            return ios_excluded_destinations(packaged)
+        return set()
+
+    def run_app(
+        self,
+        packaged,
+        pre_launch_wait_s: float = 0.0,
+        interact: bool = False,
+    ) -> DynamicAppResult:
+        """Run one app in both settings and detect pinned destinations.
+
+        Args:
+            packaged: the app.
+            pre_launch_wait_s: install-to-launch delay (the Common-iOS
+                re-run uses 120 s).
+            interact: drive the UI so interaction-gated destinations fire
+                (the §5.7 future-work variant; the paper's runs use
+                False).
+        """
+        app = packaged.app
+        harness = self._harnesses[app.platform]
+        base = RunConfig(
+            mitm=False,
+            sleep_s=self.sleep_s,
+            pre_launch_wait_s=pre_launch_wait_s,
+            transient_failure_prob=self.transient_failure_prob,
+            interact=interact,
+        )
+        mitm = RunConfig(
+            mitm=True,
+            sleep_s=self.sleep_s,
+            pre_launch_wait_s=pre_launch_wait_s,
+            transient_failure_prob=self.transient_failure_prob,
+            interact=interact,
+        )
+        direct = harness.run_app(packaged, base)
+        intercepted = harness.run_app(packaged, mitm)
+        if pre_launch_wait_s >= 120.0 and isinstance(packaged, IOSApp):
+            # The re-run methodology: verification traffic finished before
+            # the capture, so only the Apple domains need excluding.
+            from repro.device.ios import APPLE_BACKGROUND_DOMAINS
+
+            excluded: Set[str] = set(APPLE_BACKGROUND_DOMAINS)
+        else:
+            excluded = self._exclusions_for(packaged)
+        verdicts = detect_pinned_destinations(direct, intercepted, excluded)
+        return DynamicAppResult(
+            app_id=app.app_id,
+            platform=app.platform,
+            verdicts=verdicts,
+            direct_capture=direct,
+            mitm_capture=intercepted,
+            excluded_destinations=excluded,
+            reran_with_wait=pre_launch_wait_s >= 120.0,
+        )
+
+    def run_dataset(
+        self,
+        platform: str,
+        name: str,
+        rerun_ios_wait: bool = False,
+    ) -> List[DynamicAppResult]:
+        """Run a whole dataset.
+
+        Args:
+            platform / name: dataset key.
+            rerun_ios_wait: after the initial pass, re-run apps found
+                pinning with the 120 s install-to-launch wait (the paper's
+                Common-iOS methodology) and use the re-run results.
+        """
+        results = [
+            self.run_app(packaged)
+            for packaged in self.corpus.dataset(platform, name)
+        ]
+        if rerun_ios_wait and platform == "ios":
+            packaged_by_id = {
+                p.app.app_id: p for p in self.corpus.dataset(platform, name)
+            }
+            for index, result in enumerate(results):
+                if result.pins():
+                    results[index] = self.run_app(
+                        packaged_by_id[result.app_id], pre_launch_wait_s=120.0
+                    )
+        return results

@@ -1,0 +1,6 @@
+"""PII analysis of decrypted traffic (Sections 4.4, 5.5)."""
+
+from repro.core.pii.detector import PIIDetector, PIIHit
+from repro.core.pii.compare import PIIComparison, compare_pii_prevalence
+
+__all__ = ["PIIComparison", "PIIDetector", "PIIHit", "compare_pii_prevalence"]

@@ -1,0 +1,31 @@
+"""Static analysis pipeline (Section 4.1).
+
+Stages, mirroring Figure 1 steps 2–3:
+
+1. :mod:`repro.core.static.decompile` — Apktool for Android;
+   Flexdecrypt / Frida-iOS-Dump for (jailbroken-device) iOS decryption.
+2. :mod:`repro.core.static.search` — ripgrep-style scans for certificate
+   files, PEM delimiters and SPKI-hash tokens, plus a radare2-style
+   strings pass over native binaries.
+3. :mod:`repro.core.static.nsc_analysis` — the prior-work technique:
+   Android Network Security Configuration extraction and parsing.
+4. :mod:`repro.core.static.ctlookup` — resolve found hashes to
+   certificates through the CT log (crt.sh).
+5. :mod:`repro.core.static.attribution` — map finding paths to
+   third-party frameworks (Table 7).
+"""
+
+from repro.core.static.decompile import decompile_android, decrypt_ios
+from repro.core.static.nsc_analysis import analyze_nsc
+from repro.core.static.pipeline import StaticPipeline
+from repro.core.static.report import StaticAppReport
+from repro.core.static.search import scan_tree
+
+__all__ = [
+    "StaticAppReport",
+    "StaticPipeline",
+    "analyze_nsc",
+    "decompile_android",
+    "decrypt_ios",
+    "scan_tree",
+]

@@ -1,0 +1,120 @@
+"""Third-party code attribution (Section 4.1.4, Table 7).
+
+Each finding carries the package path where it was found.  Paths that
+recur across more than a threshold number of apps (5 in the paper) are
+reviewed and mapped to third-party frameworks; generic names
+(``config.json`` etc.) are discarded.  The simulation's "manual review" is
+a prefix map seeded from the SDK catalog — the same public knowledge the
+authors used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.appmodel.sdk import SDK_CATALOG
+
+#: File names too generic to attribute (the paper names config.json).
+GENERIC_BASENAMES: Set[str] = {
+    "config.json",
+    "cacert.pem",
+    "roots.pem",
+    "resources.arsc",
+    "info.plist",
+}
+
+THIRD_PARTY_THRESHOLD = 5
+
+
+def _known_prefixes() -> Dict[str, str]:
+    """Path prefix → framework name, from public SDK knowledge."""
+    prefixes: Dict[str, str] = {}
+    for sdk in SDK_CATALOG:
+        if sdk.code_path_android:
+            prefixes[sdk.code_path_android] = sdk.name
+            prefixes["smali/" + sdk.code_path_android] = sdk.name
+        if sdk.code_path_ios:
+            prefixes[sdk.code_path_ios] = sdk.name
+    return prefixes
+
+
+def _attribute_path(path: str, prefixes: Dict[str, str]) -> Optional[str]:
+    """Framework owning a path, if any prefix matches."""
+    basename = path.rsplit("/", 1)[-1].lower()
+    if basename in GENERIC_BASENAMES:
+        return None
+    best: Optional[str] = None
+    best_len = -1
+    for prefix, name in prefixes.items():
+        if prefix in path and len(prefix) > best_len:
+            best = name
+            best_len = len(prefix)
+    return best
+
+
+@dataclass
+class AttributionResult:
+    """Framework attribution across a set of apps.
+
+    Attributes:
+        framework_apps: framework → app ids whose findings attribute to it.
+        unattributed_paths: recurring paths no prefix explained (the
+            candidates a human reviewer would investigate next).
+    """
+
+    framework_apps: Dict[str, Set[str]] = field(default_factory=dict)
+    unattributed_paths: List[Tuple[str, int]] = field(default_factory=list)
+
+    def framework_counts(self) -> List[Tuple[str, int]]:
+        """Table 7 rows: frameworks by number of apps, descending."""
+        rows = [(name, len(apps)) for name, apps in self.framework_apps.items()]
+        rows.sort(key=lambda r: (-r[1], r[0]))
+        return rows
+
+    def top(self, n: int = 5) -> List[Tuple[str, int]]:
+        return self.framework_counts()[:n]
+
+
+def attribute_findings(
+    app_finding_paths: Dict[str, Iterable[str]],
+    threshold: int = THIRD_PARTY_THRESHOLD,
+) -> AttributionResult:
+    """Attribute per-app finding paths to third-party frameworks.
+
+    Args:
+        app_finding_paths: app id → paths where certificates/pins were
+            found in that app's package.
+        threshold: minimum number of apps sharing a path (or framework)
+            for third-party attribution — below it, the material is
+            presumed first-party.
+    """
+    prefixes = _known_prefixes()
+    result = AttributionResult()
+
+    path_apps: Dict[str, Set[str]] = {}
+    for app_id, paths in app_finding_paths.items():
+        for path in set(paths):
+            path_apps.setdefault(path, set()).add(app_id)
+
+    framework_apps: Dict[str, Set[str]] = {}
+    unexplained: Dict[str, int] = {}
+    for path, apps in path_apps.items():
+        if path.rsplit("/", 1)[-1].lower() in GENERIC_BASENAMES:
+            continue  # too generic to mean anything (paper drops these)
+        framework = _attribute_path(path, prefixes)
+        if framework is not None:
+            framework_apps.setdefault(framework, set()).update(apps)
+        elif len(apps) > threshold:
+            unexplained[path] = len(apps)
+
+    # Keep only frameworks that clear the recurrence bar.
+    result.framework_apps = {
+        name: apps
+        for name, apps in framework_apps.items()
+        if len(apps) > threshold
+    }
+    result.unattributed_paths = sorted(
+        unexplained.items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    return result

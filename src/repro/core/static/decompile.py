@@ -1,0 +1,61 @@
+"""Package acquisition: decompilation and decryption.
+
+Android packages decompile with Apktool — always possible.  iOS payloads
+are FairPlay-encrypted and need a jailbroken device plus a dump tool
+(Section 4.1.2): Flexdecrypt is preferred because it does not need to
+launch the app; Frida-iOS-Dump is the fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.appmodel.android import AndroidApp
+from repro.appmodel.filetree import FileTree
+from repro.appmodel.ios import IOSApp
+from repro.errors import AppModelError, DeviceError
+
+
+@dataclass(frozen=True)
+class DecryptionOutcome:
+    """How an iOS payload was obtained."""
+
+    tree: FileTree
+    tool: str  # "flexdecrypt" or "frida-ios-dump"
+
+
+def decompile_android(packaged: AndroidApp) -> FileTree:
+    """Apktool stand-in: expose the decompiled file tree.
+
+    Raises:
+        AppModelError: for an empty package (a corrupted download).
+    """
+    tree = packaged.package
+    if len(tree) == 0:
+        raise AppModelError(f"{packaged.app_id}: empty APK")
+    return tree
+
+
+def decrypt_ios(
+    packaged: IOSApp,
+    jailbroken_device_available: bool = True,
+    prefer_flexdecrypt: bool = True,
+) -> DecryptionOutcome:
+    """Obtain a decrypted IPA payload.
+
+    Args:
+        packaged: the App Store package.
+        jailbroken_device_available: decryption requires one.
+        prefer_flexdecrypt: use the faster, no-launch tool first.
+
+    Raises:
+        DeviceError: if no jailbroken device is available.
+    """
+    if not jailbroken_device_available:
+        raise DeviceError(
+            f"{packaged.app_id}: cannot decrypt without a jailbroken device"
+        )
+    tree = packaged.ipa.decrypt()
+    tool = "flexdecrypt" if prefer_flexdecrypt else "frida-ios-dump"
+    return DecryptionOutcome(tree=tree, tool=tool)

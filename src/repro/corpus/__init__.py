@@ -1,0 +1,26 @@
+"""App-store corpora.
+
+Builds the study's six datasets (Common / Popular / Random × Android /
+iOS) as synthetic apps with known ground truth, calibrated against the
+paper's published distributions (Tables 1 and 3–9, Figures 2–5).
+
+Entry point::
+
+    from repro.corpus import CorpusConfig, CorpusGenerator
+
+    corpus = CorpusGenerator(CorpusConfig(seed=2022)).generate()
+    android_popular = corpus.dataset("android", "popular")
+"""
+
+from repro.corpus.crawler import CollectionCampaign, CollectionReport
+from repro.corpus.datasets import AppCorpus, DatasetKey
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+
+__all__ = [
+    "AppCorpus",
+    "CollectionCampaign",
+    "CollectionReport",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "DatasetKey",
+]

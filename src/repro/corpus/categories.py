@@ -1,0 +1,137 @@
+"""Store categories and per-dataset category distributions.
+
+Table 1 of the paper lists the top-10 categories per dataset; the
+distributions below reproduce those heads and spread the remaining mass
+over the long tail of store categories.  Tables 4 and 5 imply per-category
+pinning propensities (Finance tops both platforms); the multipliers at the
+bottom encode that skew.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.util.rng import DeterministicRng
+
+# Play Store category labels (Android).
+ANDROID_CATEGORIES: Tuple[str, ...] = (
+    "Games", "Education", "Tools", "Music", "Books", "Business", "Lifestyle",
+    "Entertainment", "Travel", "Personalization", "Weather", "Finance",
+    "Shopping", "Food & Drink", "Social", "Productivity", "Photography",
+    "Communication", "Health", "Sports", "News", "Medical", "Maps",
+    "Weather Tools", "Automobile", "Parenting", "Libraries", "Events",
+    "Art & Design", "Beauty", "House", "Comics", "Dating", "Video Players",
+    "Casual",
+)
+
+# App Store category labels (iOS).
+IOS_CATEGORIES: Tuple[str, ...] = (
+    "Games", "Photo & Video", "Social Networking", "Education", "Finance",
+    "Lifestyle", "Entertainment", "Utilities", "Productivity", "Weather",
+    "Business", "Food & Drink", "Shopping", "Travel", "Health", "Sports",
+    "Music", "News", "Books", "Medical", "Reference", "Navigation",
+    "Magazines", "Developer Tools", "Stickers",
+)
+
+# Table 1 heads, as (category, share) with shares in [0, 1].  The remaining
+# probability mass is spread uniformly over the platform's other categories.
+_TABLE1_HEADS: Dict[Tuple[str, str], Tuple[Tuple[str, float], ...]] = {
+    ("android", "random"): (
+        ("Education", 0.12), ("Games", 0.12), ("Tools", 0.06), ("Music", 0.06),
+        ("Books", 0.06), ("Business", 0.05), ("Lifestyle", 0.05),
+        ("Entertainment", 0.04), ("Travel", 0.04), ("Personalization", 0.04),
+    ),
+    ("android", "popular"): (
+        ("Games", 0.36), ("Weather", 0.02), ("Finance", 0.02),
+        ("Shopping", 0.02), ("Entertainment", 0.02), ("Food & Drink", 0.02),
+        ("Social", 0.02), ("Productivity", 0.02), ("Photography", 0.02),
+        ("Music", 0.02),
+    ),
+    ("android", "common"): (
+        ("Games", 0.18), ("Productivity", 0.12), ("Business", 0.07),
+        ("Communication", 0.06), ("Finance", 0.06), ("Education", 0.05),
+        ("Social", 0.05), ("Health", 0.04), ("Travel", 0.03),
+        ("Lifestyle", 0.03),
+    ),
+    ("ios", "common"): (
+        ("Games", 0.18), ("Productivity", 0.14), ("Business", 0.08),
+        ("Social Networking", 0.07), ("Education", 0.06), ("Finance", 0.06),
+        ("Utilities", 0.05), ("Photo & Video", 0.04), ("Health", 0.03),
+        ("Lifestyle", 0.03),
+    ),
+    ("ios", "popular"): (
+        ("Games", 0.21), ("Photo & Video", 0.11), ("Social Networking", 0.06),
+        ("Education", 0.06), ("Finance", 0.06), ("Lifestyle", 0.05),
+        ("Entertainment", 0.04), ("Utilities", 0.04), ("Productivity", 0.04),
+        ("Weather", 0.04),
+    ),
+    ("ios", "random"): (
+        ("Games", 0.15), ("Business", 0.11), ("Education", 0.11),
+        ("Food & Drink", 0.07), ("Lifestyle", 0.07), ("Utilities", 0.06),
+        ("Entertainment", 0.04), ("Health", 0.04), ("Travel", 0.04),
+        ("Shopping", 0.03),
+    ),
+}
+
+#: Per-category pinning propensity multipliers (platform-agnostic where the
+#: label exists on both stores).  Calibrated from Tables 4/5: Finance apps
+#: pin ~4.8x the Android average; "Games" — the most common category —
+#: never reaches either top-10 list.
+PINNING_MULTIPLIER: Dict[str, float] = {
+    "Finance": 5.2,
+    "Social": 3.4,
+    "Social Networking": 2.2,
+    "Events": 3.0,
+    "Dating": 2.9,
+    "Food & Drink": 2.6,
+    "Shopping": 2.4,
+    "Comics": 2.4,
+    "Automobile": 1.7,
+    "Travel": 1.9,
+    "Weather": 1.2,
+    "Photo & Video": 1.7,
+    "Lifestyle": 1.5,
+    "Sports": 1.5,
+    "Navigation": 1.5,
+    "Books": 1.3,
+    "Health": 1.1,
+    "Business": 0.9,
+    "Productivity": 0.8,
+    "Communication": 0.9,
+    "News": 0.9,
+    "Music": 0.7,
+    "Entertainment": 0.8,
+    "Education": 0.4,
+    "Games": 0.25,
+    "Tools": 0.5,
+    "Utilities": 0.6,
+    "Personalization": 0.3,
+}
+
+
+def pinning_multiplier(category: str) -> float:
+    """Propensity multiplier for a category (1.0 when unlisted)."""
+    return PINNING_MULTIPLIER.get(category, 1.0)
+
+
+def category_distribution(platform: str, dataset: str) -> List[Tuple[str, float]]:
+    """Full (category, probability) list for one dataset.
+
+    The Table 1 heads keep their published shares; the remainder is spread
+    uniformly over the platform's other categories.
+    """
+    heads = _TABLE1_HEADS[(platform, dataset)]
+    all_categories = ANDROID_CATEGORIES if platform == "android" else IOS_CATEGORIES
+    head_names = {name for name, _ in heads}
+    tail = [c for c in all_categories if c not in head_names]
+    head_mass = sum(share for _, share in heads)
+    tail_share = max(0.0, 1.0 - head_mass) / max(1, len(tail))
+    return list(heads) + [(c, tail_share) for c in tail]
+
+
+def draw_category(platform: str, dataset: str, rng: DeterministicRng) -> str:
+    """Sample a category for one app."""
+    dist = category_distribution(platform, dataset)
+    names = [name for name, _ in dist]
+    weights = [w for _, w in dist]
+    return rng.weighted_choice(names, weights)

@@ -1,0 +1,306 @@
+"""Common-dataset pair planning.
+
+The Common dataset holds the same product on both platforms; Section 5.1
+measures how (in)consistently those products pin.  This planner assigns
+each pair a consistency class calibrated to the paper's counts (scaled to
+the configured corpus size) and engineers the two platforms' plans so the
+class actually manifests:
+
+* ``both_identical`` — same pinned domain set on both platforms;
+* ``both_partial`` — a shared pinned domain, plus per-platform extras the
+  other platform never contacts (still "consistent" by the paper's
+  definition);
+* ``both_inconsistent`` — a domain pinned on one platform observed
+  *unpinned* on the other;
+* ``both_inconclusive`` — disjoint pinned sets, never observed
+  cross-platform;
+* ``android_only`` / ``ios_only`` — pinning on one platform, split into
+  inconsistent (the pinned domain shows up unpinned on the other) and
+  inconclusive (it never shows up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.appmodel.pinning import PinMechanism
+from repro.corpus.categories import draw_category, pinning_multiplier
+from repro.corpus.factory import AppPlan, ExtraUsage
+from repro.corpus.naming import app_identity
+from repro.corpus.profiles import (
+    COMMON_CONSISTENCY,
+    DATASET_PROFILES,
+    PINNING_STYLES,
+)
+from repro.util.rng import DeterministicRng
+
+#: Android → iOS category label mapping for shared products.
+_IOS_CATEGORY_MAP: Dict[str, str] = {
+    "Social": "Social Networking",
+    "Communication": "Social Networking",
+    "Photography": "Photo & Video",
+    "Tools": "Utilities",
+    "Personalization": "Utilities",
+    "Video Players": "Entertainment",
+    "Maps": "Navigation",
+    "Automobile": "Navigation",
+    "Casual": "Games",
+    "Comics": "Books",
+    "Dating": "Lifestyle",
+    "Events": "Lifestyle",
+    "Art & Design": "Photo & Video",
+    "Beauty": "Lifestyle",
+    "House": "Lifestyle",
+    "Parenting": "Lifestyle",
+    "Libraries": "Developer Tools",
+    "Weather Tools": "Weather",
+}
+
+
+def ios_category(android_category: str) -> str:
+    from repro.corpus.categories import IOS_CATEGORIES
+
+    mapped = _IOS_CATEGORY_MAP.get(android_category, android_category)
+    return mapped if mapped in IOS_CATEGORIES else "Utilities"
+
+
+def _scaled(count: int, n: int, base: int = 575) -> int:
+    """Scale a paper count to corpus size n, keeping non-zero counts alive."""
+    if count == 0:
+        return 0
+    return max(1, round(count * n / base))
+
+
+def consistency_class_counts(n: int) -> Dict[str, int]:
+    """Pair-class counts for a Common corpus of size n."""
+    p = COMMON_CONSISTENCY
+    counts = {
+        "both_identical": _scaled(p.both_identical, n),
+        "both_partial": _scaled(p.both_partial_consistent, n),
+        "both_inconsistent": _scaled(p.both_inconsistent, n),
+        "both_inconclusive": _scaled(p.both_inconclusive, n),
+        "android_only_inconsistent": _scaled(p.android_only_inconsistent, n),
+        "android_only_inconclusive": _scaled(
+            p.android_only - p.android_only_inconsistent, n
+        ),
+        "ios_only_inconsistent": _scaled(p.ios_only_inconsistent, n),
+        "ios_only_inconclusive": _scaled(p.ios_only - p.ios_only_inconsistent, n),
+    }
+    total = sum(counts.values())
+    counts["none"] = max(0, n - total)
+    return counts
+
+
+@dataclass
+class _PairShell:
+    index: int
+    owner: str
+    owner_slug: str
+    name: str
+    android_category: str
+    ios_category: str
+
+
+class CommonPairPlanner:
+    """Builds coordinated (Android, iOS) plan pairs."""
+
+    def __init__(self, rng: DeterministicRng):
+        self._rng = rng
+
+    def _style_fields(self, platform: str, rng: DeterministicRng) -> dict:
+        style = PINNING_STYLES[platform]
+        mechanisms = list(style.mechanism_weights)
+        mech = rng.weighted_choice(
+            mechanisms, [style.mechanism_weights[m] for m in mechanisms]
+        )
+        scopes = list(style.scope_weights)
+        forms = list(style.form_weights)
+        return {
+            "mechanism": mech,
+            "scope": rng.weighted_choice(
+                scopes, [style.scope_weights[s] for s in scopes]
+            ),
+            "form": rng.weighted_choice(
+                forms, [style.form_weights[f] for f in forms]
+            ),
+            "obfuscate_first_party": rng.chance(style.obfuscated_rate),
+        }
+
+    def _base_plan(
+        self, shell: _PairShell, platform: str, rng: DeterministicRng
+    ) -> AppPlan:
+        profile = DATASET_PROFILES[(platform, "common")]
+        suffix = "" if platform == "android" else ".ios"
+        return AppPlan(
+            platform=platform,
+            dataset="common",
+            index=shell.index,
+            rank=shell.index + 1,
+            app_id=f"com.{shell.owner_slug}.app{suffix}",
+            name=shell.name,
+            owner=shell.owner,
+            owner_slug=shell.owner_slug,
+            category=(
+                shell.android_category if platform == "android" else shell.ios_category
+            ),
+            weak_system=rng.chance(profile.app_weak_cipher_rate),
+            pinned_weak=rng.chance(profile.pinned_weak_cipher_rate),
+            cross_platform_id=f"common-{shell.index}",
+            early_first_party=True,
+        )
+
+    def _apply_pinning(
+        self, plan: AppPlan, pinned_hosts: List[str], rng: DeterministicRng
+    ) -> None:
+        plan.is_pinner = True
+        plan.pin_first_party = True
+        plan.pinned_first_party_hosts = pinned_hosts
+        fields = self._style_fields(plan.platform, rng)
+        plan.mechanism = fields["mechanism"]
+        plan.scope = fields["scope"]
+        plan.form = fields["form"]
+        plan.obfuscate_first_party = fields["obfuscate_first_party"]
+
+    def build_plans(self, n: int) -> List[Tuple[AppPlan, AppPlan]]:
+        """Plan ``n`` coordinated pairs."""
+        rng = self._rng
+        shells: List[_PairShell] = []
+        for i in range(n):
+            id_rng = rng.child("identity", i)
+            _, name, owner, owner_slug = app_identity(id_rng, "android", i)
+            owner_slug = f"cm{i}{owner_slug}"
+            android_cat = draw_category("android", "common", id_rng.child("cat"))
+            shells.append(
+                _PairShell(
+                    index=i,
+                    owner=owner,
+                    owner_slug=owner_slug,
+                    name=name,
+                    android_category=android_cat,
+                    ios_category=ios_category(android_cat),
+                )
+            )
+
+        counts = consistency_class_counts(n)
+        pinning_total = sum(v for k, v in counts.items() if k != "none")
+        weights = [pinning_multiplier(s.android_category) for s in shells]
+        pinning_shells = rng.child("designate").weighted_sample(
+            shells, weights, pinning_total
+        )
+        class_sequence: List[str] = []
+        for klass, count in counts.items():
+            if klass != "none":
+                class_sequence.extend([klass] * count)
+        class_sequence = rng.child("classes").shuffled(class_sequence)
+
+        assignment = {s.index: "none" for s in shells}
+        for shell, klass in zip(pinning_shells, class_sequence):
+            assignment[shell.index] = klass
+
+        pairs: List[Tuple[AppPlan, AppPlan]] = []
+        for shell in shells:
+            pair_rng = rng.child("pair", shell.index)
+            android = self._base_plan(shell, "android", pair_rng.child("a"))
+            ios = self._base_plan(shell, "ios", pair_rng.child("i"))
+            self._wire_class(
+                assignment[shell.index], shell, android, ios, pair_rng
+            )
+            # iOS associated domains (66 % of apps specify none).
+            if pair_rng.chance(0.34):
+                hosts = [f"www.{shell.owner_slug}.com"]
+                extra = pair_rng.randint(0, 7)
+                hosts += [
+                    f"link{j}.{shell.owner_slug}.com" for j in range(extra)
+                ]
+                ios.associated_domains = tuple(hosts)
+            pairs.append((android, ios))
+        return pairs
+
+    def _wire_class(
+        self,
+        klass: str,
+        shell: _PairShell,
+        android: AppPlan,
+        ios: AppPlan,
+        rng: DeterministicRng,
+    ) -> None:
+        slug = shell.owner_slug
+        api = f"api.{slug}.com"
+        www = f"www.{slug}.com"
+        events = f"events.{slug}.com"  # Android-side extra
+        auth = f"auth.{slug}.com"  # iOS-side extra
+        img = f"img.{slug}.com"  # iOS-side extra
+
+        android.first_party_host_list = [api, www]
+        ios.first_party_host_list = [api, www]
+
+        if klass == "none":
+            return
+
+        if klass == "both_identical":
+            self._apply_pinning(android, [api], rng.child("pa"))
+            self._apply_pinning(ios, [api], rng.child("pi"))
+            return
+
+        if klass == "both_partial":
+            android.first_party_host_list = [api, www, events]
+            ios.first_party_host_list = [api, www, auth, img]
+            self._apply_pinning(android, [api, events], rng.child("pa"))
+            self._apply_pinning(ios, [api, auth, img], rng.child("pi"))
+            return
+
+        if klass == "both_inconsistent":
+            variant = shell.index % 3
+            if variant == 0:
+                # Jaccard 0.5: android pins {api, events}; iOS pins {api}
+                # and contacts events unpinned.
+                android.first_party_host_list = [api, www, events]
+                ios.first_party_host_list = [api, www, events]
+                self._apply_pinning(android, [api, events], rng.child("pa"))
+                self._apply_pinning(ios, [api], rng.child("pi"))
+            elif variant == 1:
+                # Jaccard 0.25: iOS pins {api, auth, img}; android pins
+                # {api} and contacts auth+img unpinned.
+                android.first_party_host_list = [api, www, auth, img]
+                ios.first_party_host_list = [api, www, auth, img]
+                self._apply_pinning(android, [api], rng.child("pa"))
+                self._apply_pinning(ios, [api, auth, img], rng.child("pi"))
+            else:
+                # Jaccard 0: disjoint pinned sets, each observed unpinned
+                # on the other platform.
+                android.first_party_host_list = [api, www, events, auth]
+                ios.first_party_host_list = [api, www, events, auth]
+                self._apply_pinning(android, [events], rng.child("pa"))
+                self._apply_pinning(ios, [auth], rng.child("pi"))
+            return
+
+        if klass == "both_inconclusive":
+            android.first_party_host_list = [api, www, events]
+            ios.first_party_host_list = [api, www, auth]
+            self._apply_pinning(android, [events], rng.child("pa"))
+            self._apply_pinning(ios, [auth], rng.child("pi"))
+            return
+
+        if klass == "android_only_inconsistent":
+            # iOS contacts the pinned host without pinning it.
+            self._apply_pinning(android, [api], rng.child("pa"))
+            return
+
+        if klass == "android_only_inconclusive":
+            android.first_party_host_list = [api, www, events]
+            ios.first_party_host_list = [api, www]
+            self._apply_pinning(android, [events], rng.child("pa"))
+            return
+
+        if klass == "ios_only_inconsistent":
+            self._apply_pinning(ios, [api], rng.child("pi"))
+            return
+
+        if klass == "ios_only_inconclusive":
+            android.first_party_host_list = [api, www]
+            ios.first_party_host_list = [api, www, auth]
+            self._apply_pinning(ios, [auth], rng.child("pi"))
+            return
+
+        raise ValueError(f"unknown consistency class {klass!r}")

@@ -1,0 +1,94 @@
+"""Corpus containers.
+
+An :class:`AppCorpus` is the generated world: the PKI, the server side,
+and the six app datasets.  ``PackagedApp`` is whichever platform wrapper
+applies (:class:`~repro.appmodel.android.AndroidApp` or
+:class:`~repro.appmodel.ios.IOSApp`); both expose ``.app`` (the ground
+truth) and the platform package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.appmodel.android import AndroidApp
+from repro.appmodel.app import MobileApp
+from repro.appmodel.ios import IOSApp
+from repro.errors import CorpusError
+from repro.pki.authority import PKIHierarchy
+from repro.pki.store import StoreCatalog
+from repro.servers.registry import EndpointRegistry
+
+PackagedApp = Union[AndroidApp, IOSApp]
+
+#: (platform, dataset) pairs in the study.
+DatasetKey = Tuple[str, str]
+
+DATASET_NAMES = ("common", "popular", "random")
+PLATFORMS = ("android", "ios")
+
+
+@dataclass
+class AppCorpus:
+    """Everything one seed generates."""
+
+    seed: int
+    hierarchy: PKIHierarchy
+    stores: StoreCatalog
+    registry: EndpointRegistry
+    datasets: Dict[DatasetKey, List[PackagedApp]] = field(default_factory=dict)
+
+    def dataset(self, platform: str, name: str) -> List[PackagedApp]:
+        """One dataset, e.g. ``corpus.dataset("ios", "popular")``.
+
+        Raises:
+            CorpusError: for an unknown key.
+        """
+        key = (platform, name)
+        if key not in self.datasets:
+            raise CorpusError(f"no dataset {key!r} in this corpus")
+        return self.datasets[key]
+
+    def all_apps(self, platform: Optional[str] = None) -> List[PackagedApp]:
+        """Unique apps, optionally filtered by platform."""
+        seen = set()
+        out: List[PackagedApp] = []
+        for (plat, _), apps in sorted(self.datasets.items()):
+            if platform is not None and plat != platform:
+                continue
+            for packaged in apps:
+                if packaged.app.app_id not in seen:
+                    seen.add(packaged.app.app_id)
+                    out.append(packaged)
+        return out
+
+    def common_pairs(self) -> List[Tuple[AndroidApp, IOSApp]]:
+        """Matched (Android, iOS) pairs of the Common dataset."""
+        android = {
+            a.app.cross_platform_id: a
+            for a in self.dataset("android", "common")
+            if a.app.cross_platform_id
+        }
+        pairs: List[Tuple[AndroidApp, IOSApp]] = []
+        for ios_app in self.dataset("ios", "common"):
+            match = android.get(ios_app.app.cross_platform_id)
+            if match is not None:
+                pairs.append((match, ios_app))
+        return pairs
+
+    def find_app(self, app_id: str) -> PackagedApp:
+        """Locate an app anywhere in the corpus.
+
+        Raises:
+            CorpusError: if absent.
+        """
+        for apps in self.datasets.values():
+            for packaged in apps:
+                if packaged.app.app_id == app_id:
+                    return packaged
+        raise CorpusError(f"app {app_id!r} not in corpus")
+
+    def total_unique_apps(self) -> int:
+        """The headline corpus size (the paper's 5,079)."""
+        return len(self.all_apps())

@@ -1,0 +1,451 @@
+"""App factory: turn an :class:`AppPlan` into a fully wired app.
+
+The planner layers (:mod:`repro.corpus.generator`,
+:mod:`repro.corpus.common`) decide *what* each app does — pinner or not,
+which SDKs, which mechanism, which hosts are contacted where; the factory
+materialises that decision: endpoints, resolved pinning specs, cold-start
+behaviour and PII payload templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.appmodel.app import MobileApp
+from repro.appmodel.behavior import DestinationUsage, NetworkBehavior
+from repro.appmodel.pinning import PinForm, PinMechanism, PinningSpec, PinScope
+from repro.appmodel.sdk import sdk_by_name
+from repro.corpus.naming import GENERIC_THIRD_PARTY_HOSTS, first_party_hosts
+from repro.corpus.profiles import (
+    BEHAVIOR_PROFILE,
+    PII_PROFILE,
+    PINNING_STYLES,
+)
+from repro.device.identifiers import placeholder
+from repro.errors import CorpusError
+from repro.pki.authority import PKIHierarchy
+from repro.servers.registry import EndpointRegistry
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class ExtraUsage:
+    """A planner-mandated destination beyond the defaults.
+
+    Used by the Common-pair builder to engineer cross-platform
+    (in)consistency: a host contacted pinned on one platform and unpinned
+    (or not at all) on the other.
+    """
+
+    hostname: str
+    pinned: bool = False
+    source: str = "first-party"
+
+
+@dataclass
+class AppPlan:
+    """Everything the planners decide about one app."""
+
+    platform: str
+    dataset: str
+    index: int
+    rank: int
+    app_id: str
+    name: str
+    owner: str
+    owner_slug: str
+    category: str
+    is_pinner: bool = False
+    pin_first_party: bool = False
+    pinning_sdks: List[str] = field(default_factory=list)
+    dormant_pinning_sdks: List[str] = field(default_factory=list)
+    embed_sdks: List[str] = field(default_factory=list)
+    regular_sdks: List[str] = field(default_factory=list)
+    nsc_mechanism: bool = False
+    mechanism: PinMechanism = PinMechanism.OKHTTP
+    scope: PinScope = PinScope.ROOT
+    form: PinForm = PinForm.SPKI_SHA256
+    obfuscate_first_party: bool = False
+    weak_system: bool = False
+    pinned_weak: bool = False
+    uses_nsc_file: bool = False
+    associated_domains: Tuple[str, ...] = ()
+    cross_platform_id: str = ""
+    first_party_host_list: Optional[List[str]] = None
+    pinned_first_party_hosts: Optional[List[str]] = None
+    extra_usages: List[ExtraUsage] = field(default_factory=list)
+    # Common pairs: planner-specified hosts carry cross-platform
+    # consistency semantics and must land inside the capture window.
+    early_first_party: bool = False
+    # The rare "pin everything" profile (Section 5.2: only 5 Android and
+    # 4 iOS apps pinned every domain they contacted — AskURA, Bank of
+    # America, CandyCrush, ...): the app contacts pinned domains only.
+    pin_everything: bool = False
+    # Misbehaviour knobs (Stone et al.; Possemato et al.).
+    skip_hostname_check: bool = False
+    nsc_misconfig: bool = False
+
+
+class AppFactory:
+    """Materialises apps inside one corpus world."""
+
+    def __init__(
+        self,
+        registry: EndpointRegistry,
+        hierarchy: PKIHierarchy,
+        rng: DeterministicRng,
+    ):
+        self.registry = registry
+        self.hierarchy = hierarchy
+        self._rng = rng
+
+    # -- endpoints ------------------------------------------------------------
+
+    def _ensure_first_party_endpoint(
+        self, hostname: str, owner: str, pinned: bool, rng: DeterministicRng
+    ):
+        """Create (or reuse) the endpoint for a first-party host.
+
+        Pinned first-party destinations occasionally run a custom PKI or a
+        bare self-signed certificate (Table 6 / Section 5.3.1).
+        """
+        if self.registry.knows(hostname):
+            return self.registry.resolve(hostname)
+        if pinned:
+            style = PINNING_STYLES["android"]  # PKI-kind rates are shared
+            draw = rng.random()
+            if draw < style.self_signed_rate:
+                return self.registry.create_self_signed_endpoint(
+                    hostname, owner, lifetime_years=rng.choice([10.0, 27.0])
+                )
+            if draw < style.self_signed_rate + style.custom_pki_rate:
+                authority = self.hierarchy.mint_custom_root(owner)
+                return self.registry.create_custom_pki_endpoint(
+                    hostname, owner, authority
+                )
+        return self.registry.create_default_pki_endpoint(hostname, owner)
+
+    def _ensure_sdk_endpoints(self, sdk_name: str) -> None:
+        sdk = sdk_by_name(sdk_name)
+        if sdk is None:
+            raise CorpusError(f"unknown SDK {sdk_name!r}")
+        for host in sdk.domains:
+            if not self.registry.knows(host):
+                self.registry.create_default_pki_endpoint(host, sdk.name)
+
+    # -- payload synthesis -------------------------------------------------------
+
+    def _payload_fields(
+        self, rng: DeterministicRng, pinned: bool, platform: str
+    ) -> Tuple[Tuple[str, str], ...]:
+        """Body fields for one destination, with calibrated PII rates."""
+        fields: List[Tuple[str, str]] = [
+            ("os", platform),
+            ("sdk_version", f"{rng.randint(1, 9)}.{rng.randint(0, 20)}"),
+            ("session", rng.hex_string(16)),
+        ]
+        profile = PII_PROFILE
+        if pinned:
+            ad_rate = (
+                profile.ad_id_rate_pinned_ios
+                if platform == "ios"
+                else profile.ad_id_rate_pinned_android
+            )
+        else:
+            ad_rate = profile.ad_id_rate_normal
+        if rng.chance(ad_rate):
+            fields.append(("ad_id", placeholder("ad_id")))
+        email_rate = (
+            profile.email_rate_pinned_android
+            if pinned and platform == "android"
+            else profile.email_rate_normal
+        )
+        if rng.chance(email_rate):
+            fields.append(("email", placeholder("email")))
+        if rng.chance(0.0 if pinned else profile.state_rate):
+            fields.append(("state", placeholder("state")))
+        if rng.chance(0.0 if pinned else profile.city_rate):
+            fields.append(("city", placeholder("city")))
+        if rng.chance(0.0 if pinned else profile.latlon_rate):
+            fields.append(("lat", placeholder("latitude")))
+            fields.append(("lon", placeholder("longitude")))
+        if rng.chance(profile.imei_rate):
+            fields.append(("imei", placeholder("imei")))
+        if rng.chance(profile.mac_rate):
+            fields.append(("wifi_mac", placeholder("mac")))
+        return tuple(fields)
+
+    def _draw_offset(self, rng: DeterministicRng, pinned: bool) -> float:
+        """Connection start offset after launch.
+
+        Pinned destinations are backend/config endpoints contacted
+        immediately; unpinned traffic follows the calibrated bucket mix.
+        """
+        if pinned:
+            return rng.uniform(0.0, 8.0)
+        draw = rng.random()
+        acc = 0.0
+        for probability, lo, hi in BEHAVIOR_PROFILE.offset_buckets:
+            acc += probability
+            if draw <= acc:
+                return rng.uniform(lo, hi)
+        return rng.uniform(30.0, 60.0)
+
+    def _make_usage(
+        self,
+        hostname: str,
+        source: str,
+        pinned: bool,
+        plan: AppPlan,
+        rng: DeterministicRng,
+    ) -> DestinationUsage:
+        lo, hi = BEHAVIOR_PROFILE.connections_per_destination
+        used = rng.randint(lo, hi)
+        redundant = 1 if rng.chance(BEHAVIOR_PROFILE.redundant_connection_rate) else 0
+        return DestinationUsage(
+            hostname=hostname,
+            start_offset_s=self._draw_offset(rng, pinned),
+            used_connections=used,
+            redundant_connections=redundant,
+            payload_fields=self._payload_fields(rng, pinned, plan.platform),
+            source=source,
+            weak_ciphers=pinned and plan.pinned_weak,
+        )
+
+    # -- main entry ------------------------------------------------------------
+
+    def build(self, plan: AppPlan) -> MobileApp:
+        """Materialise one app from its plan.
+
+        Raises:
+            CorpusError: for invalid plans (unknown SDKs, pinner without a
+                pinning source).
+        """
+        rng = self._rng.child("app", plan.platform, plan.dataset, plan.index)
+
+        fp_hosts = plan.first_party_host_list or first_party_hosts(
+            plan.owner_slug, rng.randint(2, 3)
+        )
+        if plan.pin_first_party:
+            pinned_fp = plan.pinned_first_party_hosts or [fp_hosts[0]]
+        else:
+            pinned_fp = []
+        for host in fp_hosts:
+            # NSC pin-sets presume default-PKI validation, so NSC pinners
+            # never get custom-PKI backends.
+            allow_custom = host in pinned_fp and not plan.nsc_mechanism
+            self._ensure_first_party_endpoint(
+                host, plan.owner, allow_custom, rng.child("fp", host)
+            )
+
+        specs: List[PinningSpec] = []
+        usages: List[DestinationUsage] = []
+
+        # First-party pinning spec.  NSC pin-sets live in a plain XML
+        # resource — code obfuscation cannot hide them.
+        if pinned_fp:
+            mechanism = PinMechanism.NSC if plan.nsc_mechanism else plan.mechanism
+            spec = PinningSpec(
+                domains=tuple(pinned_fp),
+                mechanism=mechanism,
+                scope=plan.scope,
+                form=plan.form,
+                source="first-party",
+                obfuscated=plan.obfuscate_first_party and not plan.nsc_mechanism,
+                skips_hostname_check=plan.skip_hostname_check
+                and not plan.nsc_mechanism,
+            )
+            for host in pinned_fp:
+                endpoint = self.registry.resolve(host)
+                spec.resolve_domain(
+                    host, endpoint.chain, default_pki=endpoint.pki_kind == "default"
+                )
+            specs.append(spec)
+
+        # The NSC overridePins misconfiguration: a second domain-config
+        # whose pin-set is neutralised by a trust-anchor override.  The
+        # pins are statically visible but never enforced.
+        if plan.nsc_misconfig and plan.nsc_mechanism:
+            legacy_host = f"legacy.{plan.owner_slug}.com"
+            self._ensure_first_party_endpoint(
+                legacy_host, plan.owner, False, rng.child("legacy")
+            )
+            misconfig = PinningSpec(
+                domains=(legacy_host,),
+                mechanism=PinMechanism.NSC,
+                scope=plan.scope,
+                source="first-party",
+                nsc_override_pins=True,
+            )
+            misconfig.resolve_domain(
+                legacy_host, self.registry.resolve(legacy_host).chain
+            )
+            specs.append(misconfig)
+            usages.append(
+                self._make_usage(
+                    legacy_host, "first-party", False, plan, rng.child("u-legacy")
+                )
+            )
+
+        # SDK pinning specs (active and dormant).
+        for sdk_name in plan.pinning_sdks + plan.dormant_pinning_sdks:
+            sdk = sdk_by_name(sdk_name)
+            if sdk is None:
+                raise CorpusError(f"unknown SDK {sdk_name!r}")
+            self._ensure_sdk_endpoints(sdk_name)
+            spec = sdk.make_pinning_spec(plan.platform)
+            if spec is None:
+                raise CorpusError(
+                    f"{sdk_name!r} cannot pin on {plan.platform}"
+                )
+            if sdk_name in plan.dormant_pinning_sdks or sdk.dormant_on(plan.platform):
+                spec.dormant = True
+            for host in spec.domains:
+                spec.resolve_domain(host, self.registry.resolve(host).chain)
+            specs.append(spec)
+
+        # Extra (planner-mandated) destinations, possibly pinned.
+        for extra in plan.extra_usages:
+            if not self.registry.knows(extra.hostname):
+                self._ensure_first_party_endpoint(
+                    extra.hostname,
+                    plan.owner,
+                    extra.pinned and not plan.nsc_mechanism,
+                    rng.child("x", extra.hostname),
+                )
+            if extra.pinned:
+                spec = PinningSpec(
+                    domains=(extra.hostname,),
+                    mechanism=PinMechanism.NSC if plan.nsc_mechanism else plan.mechanism,
+                    scope=plan.scope,
+                    form=plan.form,
+                    source=extra.source,
+                    obfuscated=plan.obfuscate_first_party
+                    and not plan.nsc_mechanism,
+                )
+                endpoint = self.registry.resolve(extra.hostname)
+                spec.resolve_domain(
+                    extra.hostname,
+                    endpoint.chain,
+                    default_pki=endpoint.pki_kind == "default",
+                )
+                specs.append(spec)
+
+        app = MobileApp(
+            app_id=plan.app_id,
+            name=plan.name,
+            platform=plan.platform,
+            category=plan.category,
+            owner=plan.owner,
+            store_rank=plan.rank,
+            sdk_names=(
+                plan.pinning_sdks
+                + plan.dormant_pinning_sdks
+                + plan.embed_sdks
+                + plan.regular_sdks
+            ),
+            pinning_specs=specs,
+            associated_domains=plan.associated_domains,
+            uses_nsc=plan.uses_nsc_file or plan.nsc_mechanism,
+            obfuscated_code=plan.obfuscate_first_party,
+            weak_system_stack=plan.weak_system,
+            cross_platform_id=plan.cross_platform_id,
+        )
+
+        # -- behaviour ---------------------------------------------------------
+        for host in fp_hosts:
+            usage = self._make_usage(
+                host, "first-party", app.pins_domain(host), plan, rng.child("u", host)
+            )
+            if plan.early_first_party and usage.start_offset_s > 20.0:
+                usage.start_offset_s = rng.child("early", host).uniform(0.0, 20.0)
+            usages.append(usage)
+        for extra in plan.extra_usages:
+            usages.append(
+                self._make_usage(
+                    extra.hostname,
+                    extra.source,
+                    extra.pinned,
+                    plan,
+                    rng.child("u", extra.hostname),
+                )
+            )
+
+        contacted = {u.hostname for u in usages}
+        for sdk_name in app.sdk_names:
+            sdk = sdk_by_name(sdk_name)
+            if sdk is None:
+                continue
+            self._ensure_sdk_endpoints(sdk_name)
+            is_dormant = (
+                sdk_name in plan.dormant_pinning_sdks
+                or (sdk.pins and sdk.dormant_on(plan.platform))
+            )
+            if is_dormant and not rng.chance(0.4):
+                continue  # dormant SDK usually stays silent
+            for host in sdk.domains:
+                if host in contacted:
+                    continue
+                contacted.add(host)
+                usages.append(
+                    self._make_usage(
+                        host, sdk.name, app.pins_domain(host), plan, rng.child("u", host)
+                    )
+                )
+
+        for host, owner in rng.sample(
+            GENERIC_THIRD_PARTY_HOSTS, rng.randint(1, 4)
+        ):
+            if host in contacted:
+                continue
+            contacted.add(host)
+            if not self.registry.knows(host):
+                self.registry.create_default_pki_endpoint(host, owner)
+            usages.append(
+                self._make_usage(host, owner, False, plan, rng.child("u", host))
+            )
+
+        if plan.pin_everything:
+            usages = [u for u in usages if app.pins_domain(u.hostname)]
+        elif rng.chance(0.18):
+            # Interaction-gated traffic (login, checkout): invisible to
+            # the study's no-interaction harness (§5.6), occasionally
+            # hiding additional pinning (§5.7 future work).
+            login_host = f"login.{plan.owner_slug}.com"
+            hide_pin = plan.is_pinner and rng.chance(0.25)
+            self._ensure_first_party_endpoint(
+                login_host, plan.owner, False, rng.child("login")
+            )
+            if hide_pin:
+                login_spec = PinningSpec(
+                    domains=(login_host,),
+                    mechanism=plan.mechanism,
+                    scope=plan.scope,
+                    form=plan.form,
+                    source="first-party",
+                )
+                login_spec.resolve_domain(
+                    login_host, self.registry.resolve(login_host).chain
+                )
+                specs.append(login_spec)
+            login_usage = self._make_usage(
+                login_host, "first-party", hide_pin, plan, rng.child("u-login")
+            )
+            login_usage.requires_interaction = True
+            usages.append(login_usage)
+
+        app.behavior = NetworkBehavior(usages)
+
+        # Associated domains must resolve: the iOS verification daemon
+        # contacts them at install time whether or not the app ever does.
+        for domain in plan.associated_domains:
+            if not self.registry.knows(domain):
+                self.registry.create_default_pki_endpoint(domain, plan.owner)
+
+        if plan.is_pinner and not app.pins_at_runtime():
+            raise CorpusError(
+                f"plan for {plan.app_id!r} designated a pinner but produced "
+                f"no active pins"
+            )
+        return app

@@ -1,0 +1,58 @@
+"""Deterministic name and hostname synthesis for the corpus."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.util.rng import DeterministicRng
+
+_ADJECTIVES = (
+    "swift", "bright", "urban", "quiet", "lucky", "prime", "nova", "zen",
+    "pixel", "hyper", "metro", "solar", "cosmo", "vivid", "alpine", "coral",
+    "ember", "frost", "terra", "aero",
+)
+_NOUNS = (
+    "ledger", "wallet", "chat", "quest", "planner", "market", "radar", "feed",
+    "studio", "tracker", "board", "vault", "drive", "cast", "notes", "fit",
+    "table", "route", "deck", "lens",
+)
+_COMPANY_SUFFIXES = ("Labs", "Inc", "Apps", "Soft", "Works", "Digital", "Studio")
+
+#: Shared third-party infrastructure every app may touch (CDNs, ad/metrics
+#: endpoints) — never pinned, high traffic volume.
+GENERIC_THIRD_PARTY_HOSTS: Tuple[Tuple[str, str], ...] = (
+    ("fonts.gstatic.com", "Google"),
+    ("www.gstatic.com", "Google"),
+    ("cdn.jsdelivr.net", "jsDelivr"),
+    ("cdnjs.cloudflare.com", "Cloudflare"),
+    ("api.segment.io", "Segment"),
+    ("sdk.split.io", "Split"),
+    ("in.appcenter.ms", "Microsoft"),
+    ("api.mixpanel.com", "Mixpanel"),
+    ("cdn.branch.io", "Branch"),
+    ("ssl.google-analytics.com", "Google"),
+)
+
+
+def app_identity(
+    rng: DeterministicRng, platform: str, index: int
+) -> Tuple[str, str, str, str]:
+    """Synthesize ``(app_id, display_name, owner, owner_slug)``.
+
+    The owner slug anchors the app's first-party domains, so the party
+    directory can attribute them.
+    """
+    adjective = rng.choice(_ADJECTIVES)
+    noun = rng.choice(_NOUNS)
+    owner_slug = f"{adjective}{noun}{index}"
+    owner = f"{adjective.capitalize()}{noun.capitalize()} {rng.choice(_COMPANY_SUFFIXES)}"
+    display = f"{adjective.capitalize()} {noun.capitalize()}"
+    tld = "com" if platform == "android" else rng.choice(["com", "io", "app"])
+    app_id = f"com.{owner_slug}.{noun}"
+    return app_id, display, owner, owner_slug
+
+
+def first_party_hosts(owner_slug: str, count: int) -> List[str]:
+    """First-party hostnames for an owner (api/www/cdn/auth...)."""
+    prefixes = ["api", "www", "cdn", "auth", "events", "img"]
+    return [f"{p}.{owner_slug}.com" for p in prefixes[:count]]

@@ -1,0 +1,275 @@
+"""Paper-calibrated generation profiles.
+
+Every constant here traces to a number or a qualitative claim in the paper;
+the comment on each says which.  The corpus generator treats these as
+ground-truth *rates*; the pipelines must then re-discover them — the
+reproduction succeeds when the measured tables match the shapes these
+encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.appmodel.pinning import PinForm, PinMechanism, PinScope
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Rates for one (platform, dataset) cell of Table 3.
+
+    Attributes:
+        dynamic_pin_rate: fraction of apps that actually pin at run time
+            (Table 3, "Dynamic analysis" column).
+        embedded_material_rate: fraction of apps whose package contains any
+            certificate/pin material (Table 3, "Embedded Certificates").
+        nsc_pin_rate: fraction of apps whose NSC file carries pins
+            (Table 3, "Configuration Files"; Android only).
+        nsc_usage_rate: fraction of apps shipping any NSC file (7.43 % of
+            apps used NSCs in Oltrogge et al.; only a sliver pin).
+        app_weak_cipher_rate: fraction of apps whose default stack
+            advertises weak suites (Table 8, "Overall").
+        pinned_weak_cipher_rate: probability a *pinned* destination's stack
+            advertises weak suites (Table 8, "Pinning apps").
+    """
+
+    dynamic_pin_rate: float
+    embedded_material_rate: float
+    nsc_pin_rate: float
+    nsc_usage_rate: float
+    app_weak_cipher_rate: float
+    pinned_weak_cipher_rate: float
+
+
+#: Table 3 + Table 8, cell by cell.
+DATASET_PROFILES: Dict[Tuple[str, str], DatasetProfile] = {
+    ("android", "common"): DatasetProfile(
+        dynamic_pin_rate=0.0817,       # 47/575
+        embedded_material_rate=0.2696,  # 155/575
+        nsc_pin_rate=0.0278,           # 16/575
+        nsc_usage_rate=0.08,
+        app_weak_cipher_rate=0.0835,   # Table 8 Common Android overall
+        pinned_weak_cipher_rate=0.234,  # the Common-Android anomaly
+    ),
+    ("ios", "common"): DatasetProfile(
+        dynamic_pin_rate=0.0852,       # 49/575
+        embedded_material_rate=0.2296,  # 132/575
+        nsc_pin_rate=0.0,
+        nsc_usage_rate=0.0,
+        app_weak_cipher_rate=0.9339,
+        pinned_weak_cipher_rate=0.5577,
+    ),
+    ("android", "popular"): DatasetProfile(
+        dynamic_pin_rate=0.067,        # 67/1000
+        embedded_material_rate=0.197,
+        nsc_pin_rate=0.018,
+        nsc_usage_rate=0.075,
+        app_weak_cipher_rate=0.183,
+        pinned_weak_cipher_rate=0.0149,
+    ),
+    ("ios", "popular"): DatasetProfile(
+        dynamic_pin_rate=0.114,        # 114/1000
+        embedded_material_rate=0.334,
+        nsc_pin_rate=0.0,
+        nsc_usage_rate=0.0,
+        app_weak_cipher_rate=0.952,
+        pinned_weak_cipher_rate=0.4609,
+    ),
+    ("android", "random"): DatasetProfile(
+        dynamic_pin_rate=0.009,        # 9/1000
+        embedded_material_rate=0.099,
+        nsc_pin_rate=0.006,
+        nsc_usage_rate=0.06,
+        app_weak_cipher_rate=0.031,
+        pinned_weak_cipher_rate=0.0,
+    ),
+    ("ios", "random"): DatasetProfile(
+        dynamic_pin_rate=0.025,        # 25/1000
+        embedded_material_rate=0.095,
+        nsc_pin_rate=0.0,
+        nsc_usage_rate=0.0,
+        app_weak_cipher_rate=0.826,
+        pinned_weak_cipher_rate=0.5294,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class PinningStyleProfile:
+    """How pinning apps pin, per platform.
+
+    Attributes:
+        mechanism_weights: share of pinning *apps* per non-NSC mechanism;
+            NSC share is injected separately from the dataset profile.
+            Calibrated so Frida circumvention lands near the paper's
+            ~51.5 % (Android) / ~66.2 % (iOS) of pinned destinations
+            (Section 4.3) — custom TLS stacks resist hooking.
+        scope_weights: which chain certificate is pinned.  Calibrated to
+            Section 5.3.2: ~73 % CA certificates (root or intermediate),
+            ~27 % leaves.
+        form_weights: SPKI digests vs raw certificates.  Calibrated to
+            Section 5.3.3: 24/30 leaf pins were SPKI pins.
+        first_party_pin_rate: probability a pinning app pins (one of) its
+            own backends, vs third-party-only pinning (Figure 5: most
+            pinned destinations are third-party, but nearly every Android
+            app that contacts first-party domains pins them).
+        obfuscated_rate: pin material invisible to static analysis
+            (run-time construction, string encryption).
+        dormant_sdk_rate: probability a *non*-pinning app that embeds a
+            pinning-capable SDK ships the material but never activates it
+            (static-only evidence; part of the Table 3 static/dynamic gap).
+        custom_pki_rate / self_signed_rate: per pinned first-party
+            destination (Table 6: default PKI dominates; one self-signed
+            case per platform).
+        skips_hostname_rate: fraction of first-party pin implementations
+            that skip standard hostname verification — the Stone et al.
+            (Spinner) vulnerability class the paper builds on in §2.2.
+        nsc_misconfig_rate: fraction of NSC pinners that additionally
+            carry an ``overridePins="true"``-neutralised pin-set — the
+            Possemato et al. misconfiguration.
+    """
+
+    mechanism_weights: Dict[PinMechanism, float]
+    scope_weights: Dict[PinScope, float]
+    form_weights: Dict[PinForm, float]
+    first_party_pin_rate: float
+    obfuscated_rate: float
+    dormant_sdk_rate: float
+    custom_pki_rate: float
+    self_signed_rate: float
+    skips_hostname_rate: float = 0.08
+    nsc_misconfig_rate: float = 0.15
+
+
+PINNING_STYLES: Dict[str, PinningStyleProfile] = {
+    "android": PinningStyleProfile(
+        # First-party mechanism mix.  Heavily custom: the hookable share of
+        # unique pinned destinations also includes every NSC pin-set and
+        # the (OkHttp-based) pinning SDKs, so landing near the paper's
+        # 51.5 % circumvention rate requires most bespoke first-party
+        # pinning to ride custom TLS stacks.
+        mechanism_weights={
+            PinMechanism.OKHTTP: 0.11,
+            PinMechanism.CONSCRYPT: 0.04,
+            PinMechanism.CUSTOM_TLS: 0.85,
+        },
+        scope_weights={
+            PinScope.ROOT: 0.55,
+            PinScope.INTERMEDIATE: 0.18,
+            PinScope.LEAF: 0.27,
+        },
+        form_weights={
+            PinForm.SPKI_SHA256: 0.74,
+            PinForm.SPKI_SHA1: 0.06,
+            PinForm.RAW_CERTIFICATE: 0.20,
+        },
+        first_party_pin_rate=0.45,
+        obfuscated_rate=0.15,
+        dormant_sdk_rate=0.4,
+        custom_pki_rate=0.06,
+        self_signed_rate=0.025,
+    ),
+    "ios": PinningStyleProfile(
+        mechanism_weights={
+            PinMechanism.TRUSTKIT: 0.21,
+            PinMechanism.ALAMOFIRE: 0.17,
+            PinMechanism.AFNETWORKING: 0.12,
+            PinMechanism.URLSESSION: 0.22,
+            PinMechanism.CUSTOM_TLS: 0.28,
+        },
+        scope_weights={
+            PinScope.ROOT: 0.55,
+            PinScope.INTERMEDIATE: 0.18,
+            PinScope.LEAF: 0.27,
+        },
+        form_weights={
+            PinForm.SPKI_SHA256: 0.76,
+            PinForm.SPKI_SHA1: 0.04,
+            PinForm.RAW_CERTIFICATE: 0.20,
+        },
+        first_party_pin_rate=0.55,
+        obfuscated_rate=0.15,
+        dormant_sdk_rate=0.4,
+        custom_pki_rate=0.010,
+        self_signed_rate=0.018,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CommonConsistencyProfile:
+    """Cross-platform pinning structure for the Common dataset.
+
+    Counts are for the paper's n = 575 and are scaled proportionally for
+    other corpus sizes.  Source: Section 5.1 and Figures 2–4.
+    """
+
+    total_pinning_either: int = 69
+    both_platforms: int = 27
+    android_only: int = 20
+    ios_only: int = 22
+    # Within the 27 both-platform pinners:
+    both_identical: int = 13          # same pinned domain set
+    both_partial_consistent: int = 2  # overlap + extras unobserved cross-platform
+    both_inconsistent: int = 6
+    both_inconclusive: int = 6
+    # Within exclusives: pinned domains observed unpinned on the other side
+    # (inconsistent) vs never observed there (inconclusive).
+    android_only_inconsistent: int = 10
+    ios_only_inconsistent: int = 7
+
+
+COMMON_CONSISTENCY = CommonConsistencyProfile()
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Cold-start traffic shape.
+
+    Calibrated to Section 4.2.1: a small random sample of apps performed
+    20.78 / 23.5 / 24.62 TLS handshakes on average within 15 / 30 / 60 s —
+    i.e. ~85 % of handshakes land in the first 15 seconds.
+    """
+
+    mean_destinations: float = 9.0
+    min_destinations: int = 3
+    max_destinations: int = 18
+    connections_per_destination: Tuple[int, int] = (1, 3)
+    redundant_connection_rate: float = 0.35
+    offset_buckets: Tuple[Tuple[float, float, float], ...] = (
+        # (probability, lo seconds, hi seconds)
+        (0.84, 0.0, 10.0),
+        (0.10, 10.0, 30.0),
+        (0.06, 30.0, 60.0),
+    )
+    transient_failure_prob: float = 0.015
+
+
+BEHAVIOR_PROFILE = BehaviorProfile()
+
+
+@dataclass(frozen=True)
+class PIIProfile:
+    """Per-destination PII emission rates.
+
+    Calibrated to Table 9: the advertising ID dominates (appearing in
+    ~18–26 % of flows, slightly more on pinned destinations because those
+    skew toward analytics/payment endpoints); everything else is rare.
+    The pinned-rate bump is larger on iOS — the one statistically
+    significant pinned-vs-non-pinned difference the paper reports.
+    """
+
+    ad_id_rate_pinned_ios: float = 0.29
+    ad_id_rate_pinned_android: float = 0.215
+    ad_id_rate_normal: float = 0.185
+    email_rate_pinned_android: float = 0.010
+    email_rate_normal: float = 0.005
+    state_rate: float = 0.008
+    city_rate: float = 0.006
+    latlon_rate: float = 0.0008
+    imei_rate: float = 0.001
+    mac_rate: float = 0.001
+
+
+PII_PROFILE = PIIProfile()

@@ -1,0 +1,259 @@
+"""App-store fronts and download machinery (paper §3 and Appendix A).
+
+The study's corpus collection was itself a system: GPlayCLI downloads
+straight from the Play Store; iOS has no public download API, so the
+authors drove the deprecated iTunes 12.6 GUI, babysitting periodic
+re-authentication — the reason the study stops at thousands of iOS apps.
+AlternativeTo supplied the cross-platform links for the Common set, and
+the iTunes Search API the popular iOS lists.
+
+This module models those services over a generated corpus so the
+collection methodology (rate limits, crawl etiquette, the iOS download
+gauntlet) is reproducible and testable, not just narrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.corpus.datasets import AppCorpus, PackagedApp
+from repro.errors import CorpusError, DeviceError
+from repro.util.simtime import SimClock, Timestamp
+
+
+@dataclass(frozen=True)
+class StoreListing:
+    """One store page: the metadata a crawler sees before downloading."""
+
+    app_id: str
+    name: str
+    category: str
+    rank: int
+    platform: str
+    price: float = 0.0
+
+
+@dataclass
+class CrawlRequest:
+    """One logged request (the §7 ethics bookkeeping)."""
+
+    url: str
+    at: Timestamp
+    user_agent: str
+
+
+class CrawlLog:
+    """Records every request a crawler makes."""
+
+    def __init__(self):
+        self.requests: List[CrawlRequest] = []
+
+    def record(self, url: str, at: Timestamp, user_agent: str) -> None:
+        self.requests.append(CrawlRequest(url=url, at=at, user_agent=user_agent))
+
+    def max_rate_per_second(self) -> float:
+        """Peak request rate over any 1-second window."""
+        if len(self.requests) < 2:
+            return float(len(self.requests))
+        times = sorted(r.at.unix for r in self.requests)
+        peak = 1
+        start = 0
+        for end in range(len(times)):
+            while times[end] - times[start] >= 1:
+                start += 1
+            peak = max(peak, end - start + 1)
+        return float(peak)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class _StoreFront:
+    """Shared listing/lookup machinery."""
+
+    platform = ""
+
+    def __init__(self, packaged_apps: Sequence[PackagedApp]):
+        self._apps: Dict[str, PackagedApp] = {}
+        self._listings: Dict[str, StoreListing] = {}
+        for packaged in packaged_apps:
+            app = packaged.app
+            self._apps[app.app_id] = packaged
+            self._listings[app.app_id] = StoreListing(
+                app_id=app.app_id,
+                name=app.name,
+                category=app.category,
+                rank=app.store_rank,
+                platform=app.platform,
+            )
+
+    def listing(self, app_id: str) -> StoreListing:
+        listing = self._listings.get(app_id)
+        if listing is None:
+            raise CorpusError(f"{app_id!r} is not listed on {self.platform}")
+        return listing
+
+    def all_app_ids(self) -> List[str]:
+        return sorted(self._listings)
+
+    def top_free(self, category: str, limit: int = 100) -> List[StoreListing]:
+        """A category's "Top Free" chart, rank order."""
+        rows = [
+            l for l in self._listings.values() if l.category == category
+        ]
+        rows.sort(key=lambda l: l.rank)
+        return rows[:limit]
+
+    def __len__(self) -> int:
+        return len(self._listings)
+
+
+class PlayStore(_StoreFront):
+    """Google Play: GPlayCLI-style direct downloads."""
+
+    platform = "android"
+
+    def download(self, app_id: str) -> PackagedApp:
+        """Fetch an APK (always succeeds for listed apps)."""
+        self.listing(app_id)
+        return self._apps[app_id]
+
+
+@dataclass
+class ITunesSession:
+    """The deprecated iTunes 12.6 GUI-automation session (Appendix A).
+
+    Downloads occasionally require manual intervention (re-authentication,
+    dialog dismissal) — ``downloads_per_reauth`` models how many succeed
+    between interventions.  This is the scalability bottleneck that kept
+    the paper's iOS corpus in the thousands.
+    """
+
+    downloads_per_reauth: int = 200
+    authenticated: bool = True
+    downloads_since_auth: int = 0
+    interventions: int = 0
+
+    def needs_attention(self) -> bool:
+        return (
+            not self.authenticated
+            or self.downloads_since_auth >= self.downloads_per_reauth
+        )
+
+    def reauthenticate(self) -> None:
+        """The manual step a human performs."""
+        self.authenticated = True
+        self.downloads_since_auth = 0
+        self.interventions += 1
+
+    def consume_download(self) -> None:
+        if self.needs_attention():
+            raise DeviceError(
+                "iTunes session needs manual re-authentication"
+            )
+        self.downloads_since_auth += 1
+
+
+class AppleAppStore(_StoreFront):
+    """The App Store: search API public, downloads gated through iTunes."""
+
+    platform = "ios"
+    SEARCH_RESULT_CAP = 100  # the iTunes Search API's per-call maximum
+
+    def itunes_search(self, term: str, limit: int = 100) -> List[StoreListing]:
+        """iTunes Search API: term ≈ category name, ≤100 results."""
+        limit = min(limit, self.SEARCH_RESULT_CAP)
+        rows = [
+            l
+            for l in self._listings.values()
+            if term.lower() in l.category.lower()
+        ]
+        rows.sort(key=lambda l: l.rank)
+        return rows[:limit]
+
+    def download(self, app_id: str, session: ITunesSession) -> PackagedApp:
+        """Fetch an (encrypted) IPA through the iTunes session.
+
+        Raises:
+            DeviceError: when the session needs manual attention first.
+            CorpusError: for unlisted apps.
+        """
+        self.listing(app_id)
+        session.consume_download()
+        return self._apps[app_id]
+
+
+class AlternativeTo:
+    """The crowd-sourced cross-platform index behind the Common set.
+
+    Pages are sorted by popularity; a page links both stores only when
+    the product ships on both.  The crawler etiquette from §7 — one
+    request per second, contact info in the User-Agent — is enforced by
+    :class:`RateLimitedCrawler`.
+    """
+
+    def __init__(self, corpus: AppCorpus):
+        self._pages: List[Tuple[str, Optional[str], Optional[str]]] = []
+        android = {
+            p.app.cross_platform_id: p.app.app_id
+            for p in corpus.dataset("android", "common")
+            if p.app.cross_platform_id
+        }
+        ios = {
+            p.app.cross_platform_id: p.app.app_id
+            for p in corpus.dataset("ios", "common")
+            if p.app.cross_platform_id
+        }
+        for cp_id in sorted(android.keys() | ios.keys()):
+            self._pages.append(
+                (cp_id, android.get(cp_id), ios.get(cp_id))
+            )
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def page(self, index: int) -> Tuple[str, Optional[str], Optional[str]]:
+        """(product id, Play Store link, App Store link) for one page."""
+        return self._pages[index]
+
+
+class RateLimitedCrawler:
+    """A polite crawler: ≤1 request/second, identified User-Agent."""
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        user_agent: str = "repro-research-crawler/1.0 (contact: research@example.edu)",
+        min_interval_s: float = 1.0,
+    ):
+        if "contact" not in user_agent:
+            raise CorpusError(
+                "crawler User-Agent must carry contact information (§7)"
+            )
+        self.clock = clock or SimClock()
+        self.user_agent = user_agent
+        self.min_interval_s = min_interval_s
+        self.log = CrawlLog()
+
+    def fetch(self, url: str):
+        """Log one request, advancing the clock to respect the rate."""
+        self.clock.advance(self.min_interval_s)
+        self.log.record(url, self.clock.now, self.user_agent)
+
+    def crawl_alternativeto(
+        self, site: AlternativeTo, max_pages: int
+    ) -> List[Tuple[str, str]]:
+        """Walk popularity-ordered pages; keep both-store products.
+
+        Returns (android app id, iOS app id) pairs — the Common dataset's
+        raw material.
+        """
+        pairs: List[Tuple[str, str]] = []
+        for index in range(min(max_pages, site.page_count)):
+            self.fetch(f"https://alternativeto.example/page/{index}")
+            _, android_id, ios_id = site.page(index)
+            if android_id and ios_id:
+                pairs.append((android_id, ios_id))
+        return pairs

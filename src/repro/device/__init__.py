@@ -1,0 +1,26 @@
+"""Device emulation.
+
+Stands in for the paper's testbed hardware: a Pixel 3 on a modified
+Android 11 factory image (mitmproxy CA in the *system* store) and a
+jailbroken iPhone X on iOS 13.6 (mitmproxy root trusted; checkra1n enables
+app decryption and Frida).  The :class:`AutomationHarness` reproduces the
+dynamic-pipeline loop: install → capture for a sleep window → uninstall,
+including iOS background traffic and associated-domains verification.
+"""
+
+from repro.device.android import AndroidDevice
+from repro.device.automation import AutomationHarness, RunConfig
+from repro.device.base import Device
+from repro.device.identifiers import PII_PLACEHOLDER_PREFIX, DeviceIdentifiers
+from repro.device.ios import APPLE_BACKGROUND_DOMAINS, IOSDevice
+
+__all__ = [
+    "APPLE_BACKGROUND_DOMAINS",
+    "AndroidDevice",
+    "AutomationHarness",
+    "Device",
+    "DeviceIdentifiers",
+    "IOSDevice",
+    "PII_PLACEHOLDER_PREFIX",
+    "RunConfig",
+]

@@ -1,0 +1,39 @@
+"""The Android test device.
+
+A Pixel 3 running a factory Android 11 image modified to include the
+mitmproxy certificate in the system certificate store (Section 4.2.1) —
+necessary because apps targeting API 24+ ignore user-installed CAs.
+Manual analysis found no interfering Android background traffic, so the
+device emits none.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.device.base import Device
+from repro.device.identifiers import DeviceIdentifiers
+from repro.pki.certificate import Certificate
+from repro.pki.store import RootStore
+from repro.util.rng import DeterministicRng
+
+
+class AndroidDevice(Device):
+    """Pixel 3, Android 11."""
+
+    def __init__(
+        self,
+        system_store: RootStore,
+        rng: DeterministicRng,
+        proxy_ca: Optional[Certificate] = None,
+    ):
+        super().__init__(
+            model="Pixel 3",
+            os_version="Android 11",
+            platform="android",
+            system_store=system_store.copy("pixel3-system"),
+            identifiers=DeviceIdentifiers.generate(rng.child("ids")),
+            jailbroken=False,
+        )
+        if proxy_ca is not None:
+            self.install_proxy_ca(proxy_ca)

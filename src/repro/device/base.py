@@ -1,0 +1,42 @@
+"""Common device state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.device.identifiers import DeviceIdentifiers
+from repro.pki.certificate import Certificate
+from repro.pki.store import RootStore
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class Device:
+    """A test handset.
+
+    Attributes:
+        model / os_version: hardware identity (display only).
+        platform: ``"android"`` or ``"ios"``.
+        system_store: the root store *apps* validate against.  Installing
+            the interception CA here is what lets non-pinned connections be
+            intercepted.
+        identifiers: the device's PII values.
+        jailbroken: required on iOS for app decryption and Frida
+            (checkra1n in the paper); ``rooted`` is the Android analogue
+            (not required — the paper modified the factory image instead).
+    """
+
+    model: str
+    os_version: str
+    platform: str
+    system_store: RootStore
+    identifiers: DeviceIdentifiers
+    jailbroken: bool = False
+
+    def install_proxy_ca(self, certificate: Certificate) -> None:
+        """Trust an interception CA for app traffic."""
+        self.system_store.add(certificate)
+
+    def trusts(self, certificate: Certificate) -> bool:
+        return self.system_store.trusts(certificate)

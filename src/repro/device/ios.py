@@ -1,0 +1,65 @@
+"""The iOS test device.
+
+An iPhone X on iOS 13.6, jailbroken with checkra1n (Section 4.2.1) — the
+jailbreak gates app decryption for static analysis and Frida for pinning
+circumvention.  The device reproduces the two background-traffic
+confounders of Section 4.5:
+
+* continuous OS traffic to Apple-controlled domains (``icloud.com``,
+  ``apple.com``, ``mzstatic.com``) for the whole test duration;
+* associated-domains verification at install time: the OS contacts every
+  domain in the app's entitlements.  The verifying daemon does **not**
+  trust the user-installed interception CA, so under MITM this traffic
+  looks exactly like pinning — and shares the apps' TLS fingerprint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.device.base import Device
+from repro.device.identifiers import DeviceIdentifiers
+from repro.pki.certificate import Certificate
+from repro.pki.store import RootStore
+from repro.util.rng import DeterministicRng
+
+#: Apple-controlled destinations with OS-initiated traffic throughout any
+#: capture; the analysis excludes them by registrable domain.
+APPLE_BACKGROUND_DOMAINS: Tuple[str, ...] = (
+    "icloud.com",
+    "apple.com",
+    "mzstatic.com",
+)
+
+#: Hostnames the device's OS services contact during a capture window.
+APPLE_BACKGROUND_HOSTS: Tuple[str, ...] = (
+    "gateway.icloud.com",
+    "gsp-ssl.ls.apple.com",
+    "init.itunes.apple.com",
+    "is1-ssl.mzstatic.com",
+)
+
+
+class IOSDevice(Device):
+    """iPhone X, iOS 13.6, checkra1n jailbreak."""
+
+    def __init__(
+        self,
+        system_store: RootStore,
+        rng: DeterministicRng,
+        proxy_ca: Optional[Certificate] = None,
+        jailbroken: bool = True,
+    ):
+        super().__init__(
+            model="iPhone X",
+            os_version="iOS 13.6",
+            platform="ios",
+            system_store=system_store.copy("iphonex-system"),
+            identifiers=DeviceIdentifiers.generate(rng.child("ids")),
+            jailbroken=jailbroken,
+        )
+        # The apps' trust view includes the user-installed proxy root; the
+        # OS services' view does not.
+        self.os_services_store = system_store.copy("iphonex-os-services")
+        if proxy_ca is not None:
+            self.install_proxy_ca(proxy_ca)

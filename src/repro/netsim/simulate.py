@@ -1,0 +1,119 @@
+"""Connection-level simulation: one app connection → one flow record.
+
+:func:`simulate_flow` composes the layers: the (optional) proxy forges a
+chain, the TLS handshake runs with the client's validation policy, the
+record trace is synthesized, and the result is packaged as a
+:class:`FlowRecord` ready for capture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.netsim.flow import FlowRecord, Payload
+from repro.netsim.proxy import MITMProxy
+from repro.servers.endpoint import ServerEndpoint
+from repro.tls.connection import (
+    ConnectionTrace,
+    TEARDOWN_RST,
+    synthesize_trace,
+)
+from repro.tls.fingerprint import ja3_fingerprint
+from repro.tls.handshake import ClientProfile, perform_handshake
+from repro.tls.records import ContentType, Direction, TLSRecord
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import Timestamp
+
+
+def _transient_failure_trace(rng: DeterministicRng) -> ConnectionTrace:
+    """A server-side failure: SYN-level or mid-handshake reset.
+
+    These occur in both experiment settings and are the reason "failure
+    under MITM" alone cannot prove pinning.
+    """
+    trace = ConnectionTrace()
+    if rng.chance(0.5):
+        trace.records.append(
+            TLSRecord(
+                ContentType.HANDSHAKE,
+                Direction.CLIENT_TO_SERVER,
+                512,
+                ContentType.HANDSHAKE,
+            )
+        )
+    trace.teardown = TEARDOWN_RST
+    return trace
+
+
+def simulate_flow(
+    client: ClientProfile,
+    endpoint: ServerEndpoint,
+    when: Timestamp,
+    rng: DeterministicRng,
+    *,
+    payloads: Sequence[Payload] = (),
+    proxy: Optional[MITMProxy] = None,
+    app_id: str = "",
+    platform: str = "",
+    os_initiated: bool = False,
+    transient_failure_prob: float = 0.0,
+    gt_pinned: bool = False,
+) -> FlowRecord:
+    """Simulate one connection and return its capture record.
+
+    Args:
+        client: the app's client profile for this destination.
+        endpoint: the server.
+        when: connection start time.
+        rng: randomness for the trace and failure injection.
+        payloads: application messages the app intends to send.  An empty
+            sequence models a redundant connection that is established but
+            never used.
+        proxy: interception proxy, or None for the baseline setting.
+        app_id / platform / os_initiated: capture metadata.
+        transient_failure_prob: probability of a server-side failure
+            unrelated to TLS interception.
+        gt_pinned: ground-truth flag stored on the record for scoring.
+    """
+    flow = FlowRecord(
+        sni=endpoint.hostname,
+        started_at=when,
+        app_id=app_id,
+        platform=platform,
+        mitm_attempted=proxy is not None,
+        offered_suites=tuple(client.offered_suites),
+        client_fingerprint=ja3_fingerprint(
+            client.offered_versions, client.offered_suites
+        ),
+        os_initiated=os_initiated,
+        gt_pinned=gt_pinned,
+    )
+
+    if rng.chance(transient_failure_prob):
+        flow.trace = _transient_failure_trace(rng)
+        flow.gt_failure_reason = "transient"
+        return flow
+
+    presented = proxy.forge_chain(endpoint) if proxy is not None else None
+    outcome = perform_handshake(client, endpoint, when, presented_chain=presented)
+
+    flow.version = outcome.version
+    flow.cipher = outcome.cipher
+    flow.handshake_completed = outcome.success
+    flow.gt_failure_reason = outcome.failure_reason
+
+    sends_data = bool(payloads) and outcome.success
+    flow.trace = synthesize_trace(
+        outcome,
+        rng,
+        client_payload_records=len(payloads) if sends_data else 0,
+        server_payload_records=len(payloads) if sends_data else 0,
+        closes_cleanly=rng.chance(0.6),
+    )
+
+    if sends_data:
+        flow._payloads = tuple(payloads)
+        # The proxy can read the traffic iff it terminated TLS, i.e. the
+        # client accepted the forged chain.
+        flow.plaintext_visible = proxy is not None
+    return flow

@@ -1,0 +1,39 @@
+"""Certificate revocation.
+
+Section 5.3.1 notes that revocation only applies to leaf certificates and
+that long-lived self-signed pins cannot be revoked at all; the simulation
+keeps a CRL-style set so validators can exercise the ``revoked`` failure
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.pki.certificate import Certificate
+
+
+class RevocationList:
+    """A set of revoked (issuer, serial) pairs, CRL style."""
+
+    def __init__(self, entries: Iterable[Certificate] = ()):
+        self._revoked: Set[Tuple[str, str]] = set()
+        for cert in entries:
+            self.revoke(cert)
+
+    @staticmethod
+    def _key(cert: Certificate) -> Tuple[str, str]:
+        return (cert.issuer.render(), cert.serial)
+
+    def revoke(self, cert: Certificate) -> None:
+        """Add a certificate to the list."""
+        self._revoked.add(self._key(cert))
+
+    def unrevoke(self, cert: Certificate) -> None:
+        self._revoked.discard(self._key(cert))
+
+    def is_revoked(self, cert: Certificate) -> bool:
+        return self._key(cert) in self._revoked
+
+    def __len__(self) -> int:
+        return len(self._revoked)

@@ -1,0 +1,177 @@
+"""Chain validation, hostname matching and PKI classification.
+
+This module implements the client-side checks the paper's TLS layer needs:
+
+* :func:`validate_chain` — the default (root-store) validation algorithm:
+  link signatures, validity windows, CA flags, hostname match, a path to a
+  trusted anchor, revocation.
+* :func:`hostname_matches` — RFC-6125-style matching with single-label
+  wildcards.
+* :func:`classify_pki` — the Section 5.3.1 OpenSSL-against-Mozilla check
+  that labels a pinned destination as using the default or a custom PKI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ChainValidationError
+from repro.pki.certificate import Certificate
+from repro.pki.chain import CertificateChain
+from repro.pki.revocation import RevocationList
+from repro.pki.store import RootStore
+from repro.util.simtime import Timestamp
+
+
+def hostname_matches(pattern: str, hostname: str) -> bool:
+    """RFC-6125-style hostname matching.
+
+    A leading ``*.`` wildcard matches exactly one label; wildcards anywhere
+    else are not honoured.  Comparison is case-insensitive.
+    """
+    pattern = pattern.lower().rstrip(".")
+    hostname = hostname.lower().rstrip(".")
+    if not pattern or not hostname:
+        return False
+    if pattern == hostname:
+        return True
+    if pattern.startswith("*."):
+        suffix = pattern[2:]
+        if not suffix:
+            return False
+        head, _, tail = hostname.partition(".")
+        return bool(head) and tail == suffix
+    return False
+
+
+@dataclass
+class ValidationContext:
+    """Everything a validator needs besides the chain itself.
+
+    Attributes:
+        store: trusted roots.
+        hostname: expected server identity (skip the check when empty —
+            this is the misbehaviour Stone et al. hunt for, kept available
+            so tests can model it).
+        at_time: validation time.
+        revocation: optional CRL set.
+        check_hostname: toggle for the hostname check.
+        check_validity: toggle for the expiry check.
+    """
+
+    store: RootStore
+    hostname: str
+    at_time: Timestamp
+    revocation: Optional[RevocationList] = None
+    check_hostname: bool = True
+    check_validity: bool = True
+
+
+def validate_chain(chain: CertificateChain, ctx: ValidationContext) -> Certificate:
+    """Validate a served chain; return the trust anchor used.
+
+    Performs, in order: link-name consistency, per-certificate validity
+    windows, CA flags on non-leaf links, simulated signature verification,
+    revocation, hostname match on the leaf, and anchoring in the store
+    (either the terminal certificate is itself trusted, or its issuer is
+    found in the store and verifies it).
+
+    Raises:
+        ChainValidationError: with a machine-readable ``reason`` on the
+            first failed check (``bad_link``, ``expired``, ``not_yet_valid``,
+            ``not_ca``, ``bad_signature``, ``revoked``,
+            ``hostname_mismatch``, ``untrusted_root``).
+    """
+    if not chain.links_consistent():
+        raise ChainValidationError(
+            "issuer/subject names do not link", reason="bad_link"
+        )
+
+    for cert in chain:
+        if ctx.check_validity:
+            if ctx.at_time.unix > cert.not_after.unix:
+                raise ChainValidationError(
+                    f"{cert.common_name!r} expired {cert.not_after}",
+                    reason="expired",
+                )
+            if ctx.at_time.unix < cert.not_before.unix:
+                raise ChainValidationError(
+                    f"{cert.common_name!r} not valid before {cert.not_before}",
+                    reason="not_yet_valid",
+                )
+        if ctx.revocation is not None and ctx.revocation.is_revoked(cert):
+            raise ChainValidationError(
+                f"{cert.common_name!r} is revoked", reason="revoked"
+            )
+
+    for cert in chain.certificates[1:]:
+        if not cert.is_ca:
+            raise ChainValidationError(
+                f"{cert.common_name!r} used as an issuer but is not a CA",
+                reason="not_ca",
+            )
+
+    # Verify each link's signature under its parent's key.
+    for child, parent in zip(chain.certificates, chain.certificates[1:]):
+        if not parent.key.verify(child.tbs_bytes(), child.signature):
+            raise ChainValidationError(
+                f"signature on {child.common_name!r} does not verify under "
+                f"{parent.common_name!r}",
+                reason="bad_signature",
+            )
+
+    if ctx.check_hostname and ctx.hostname:
+        if not chain.leaf.matches_hostname(ctx.hostname):
+            raise ChainValidationError(
+                f"leaf does not match hostname {ctx.hostname!r}",
+                reason="hostname_mismatch",
+            )
+
+    terminal = chain.terminal
+    if ctx.store.trusts(terminal):
+        if not terminal.key.verify(terminal.tbs_bytes(), terminal.signature):
+            raise ChainValidationError(
+                "trusted terminal certificate fails self-verification",
+                reason="bad_signature",
+            )
+        return terminal
+
+    anchor = ctx.store.find_issuer(terminal)
+    if anchor is None:
+        raise ChainValidationError(
+            f"no trust anchor for issuer {terminal.issuer.render()!r}",
+            reason="untrusted_root",
+        )
+    if not anchor.key.verify(terminal.tbs_bytes(), terminal.signature):
+        raise ChainValidationError(
+            f"signature on {terminal.common_name!r} does not verify under "
+            f"anchor {anchor.common_name!r}",
+            reason="bad_signature",
+        )
+    return anchor
+
+
+def chain_is_valid(chain: CertificateChain, ctx: ValidationContext) -> bool:
+    """Boolean convenience wrapper around :func:`validate_chain`."""
+    try:
+        validate_chain(chain, ctx)
+    except ChainValidationError:
+        return False
+    return True
+
+
+def classify_pki(
+    chain: CertificateChain, mozilla_store: RootStore, at_time: Timestamp
+) -> str:
+    """Classify a served chain as ``"default"`` or ``"custom"`` PKI.
+
+    Mirrors Section 5.3.1: validate the chain with OpenSSL configured with
+    the Mozilla CA store (no hostname check — the paper validates chains,
+    not connections).  Chains that anchor in Mozilla's store are "default
+    PKI"; everything else is "custom".
+    """
+    ctx = ValidationContext(
+        store=mozilla_store, hostname="", at_time=at_time, check_hostname=False
+    )
+    return "default" if chain_is_valid(chain, ctx) else "custom"

@@ -1,0 +1,5 @@
+"""Rendering helpers for tables and figure data."""
+
+from repro.reporting.tables import Table
+
+__all__ = ["Table"]

@@ -1,0 +1,14 @@
+"""Server-side world: TLS endpoints, the hostname registry, and
+party-attribution data.
+
+The simulated Internet consists of :class:`ServerEndpoint` objects (one per
+hostname) owned by organisations.  :class:`EndpointRegistry` plays DNS +
+the servers themselves; :mod:`repro.servers.parties` is the whois-style
+knowledge the paper uses to label destinations first- vs third-party.
+"""
+
+from repro.servers.endpoint import ServerEndpoint
+from repro.servers.parties import PartyDirectory
+from repro.servers.registry import EndpointRegistry
+
+__all__ = ["EndpointRegistry", "PartyDirectory", "ServerEndpoint"]

@@ -1,0 +1,160 @@
+"""The endpoint registry — DNS plus the servers themselves.
+
+Everything that answers TLS in the simulation is registered here:
+first-party app backends, third-party SDK endpoints, Apple's own services.
+The registry also owns the party directory and logs every default-PKI chain
+to the CT log, keeping crt.sh-style lookups realistic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import CorpusError
+from repro.pki.authority import CertificateAuthority, PKIHierarchy
+from repro.pki.chain import CertificateChain
+from repro.pki.ctlog import CTLog
+from repro.servers.endpoint import ServerEndpoint
+from repro.servers.parties import PartyDirectory
+from repro.tls.ciphers import MODERN_SUITES, WEAK_SUITES
+from repro.tls.records import TLSVersion
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import STUDY_START
+
+
+class EndpointRegistry:
+    """Hostname → :class:`ServerEndpoint`, plus creation helpers."""
+
+    def __init__(self, hierarchy: PKIHierarchy, rng: DeterministicRng):
+        self.hierarchy = hierarchy
+        self.ctlog = CTLog()
+        self.parties = PartyDirectory()
+        self._rng = rng
+        self._endpoints: Dict[str, ServerEndpoint] = {}
+
+    # -- lookup -------------------------------------------------------------
+
+    def resolve(self, hostname: str) -> ServerEndpoint:
+        """Return the endpoint for a hostname.
+
+        Raises:
+            CorpusError: for an unknown hostname (a corpus bug — apps only
+                contact registered destinations).
+        """
+        endpoint = self._endpoints.get(hostname.lower())
+        if endpoint is None:
+            raise CorpusError(f"no endpoint registered for {hostname!r}")
+        return endpoint
+
+    def knows(self, hostname: str) -> bool:
+        return hostname.lower() in self._endpoints
+
+    def __iter__(self) -> Iterator[ServerEndpoint]:
+        return iter(self._endpoints.values())
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    # -- creation -----------------------------------------------------------
+
+    def _server_versions(self, rng: DeterministicRng) -> Sequence[TLSVersion]:
+        """Most servers speak 1.2+1.3; a tail is 1.2-only or legacy."""
+        draw = rng.random()
+        if draw < 0.70:
+            return (TLSVersion.TLS12, TLSVersion.TLS13)
+        if draw < 0.95:
+            return (TLSVersion.TLS11, TLSVersion.TLS12)
+        return (TLSVersion.TLS10, TLSVersion.TLS11, TLSVersion.TLS12)
+
+    def _server_suites(self, rng: DeterministicRng):
+        """A minority of servers still list weak suites at the bottom."""
+        suites = list(MODERN_SUITES)
+        if rng.chance(0.25):
+            suites.extend(rng.sample(WEAK_SUITES, rng.randint(1, 3)))
+        return tuple(suites)
+
+    def create_default_pki_endpoint(
+        self,
+        hostname: str,
+        owner: str,
+        *,
+        wildcard: bool = False,
+        lifetime_days: float = 398.0,
+    ) -> ServerEndpoint:
+        """Register an endpoint with a default-PKI chain (the common case)."""
+        hostname = hostname.lower()
+        if hostname in self._endpoints:
+            return self._endpoints[hostname]
+        rng = self._rng.child("endpoint", hostname)
+        issued = self.hierarchy.issue_leaf_chain(
+            hostname, rng, wildcard=wildcard, lifetime_days=lifetime_days
+        )
+        self.ctlog.log_chain(issued.chain)
+        self.ctlog.log_certificate(issued.root.certificate)
+        endpoint = ServerEndpoint(
+            hostname=hostname,
+            chain=issued.chain,
+            owner=owner,
+            supported_versions=self._server_versions(rng),
+            supported_suites=self._server_suites(rng),
+            leaf_key=issued.leaf_key,
+            pki_kind="default",
+        )
+        self._endpoints[hostname] = endpoint
+        self.parties.register(hostname, owner)
+        return endpoint
+
+    def create_custom_pki_endpoint(
+        self, hostname: str, owner: str, authority: CertificateAuthority
+    ) -> ServerEndpoint:
+        """Register an endpoint whose chain anchors in a private root.
+
+        Custom-PKI certificates are not CT-logged — which is what makes
+        ~half of statically found pins unresolvable via crt.sh.
+        """
+        hostname = hostname.lower()
+        rng = self._rng.child("endpoint", hostname)
+        leaf, leaf_key = authority.issue(
+            hostname,
+            san=(hostname,),
+            not_before=STUDY_START.plus_days(-60),
+            lifetime_days=730,
+        )
+        endpoint = ServerEndpoint(
+            hostname=hostname,
+            chain=CertificateChain.of(leaf, authority.certificate),
+            owner=owner,
+            supported_versions=self._server_versions(rng),
+            supported_suites=self._server_suites(rng),
+            leaf_key=leaf_key,
+            pki_kind="custom",
+        )
+        self._endpoints[hostname] = endpoint
+        self.parties.register(hostname, owner)
+        return endpoint
+
+    def create_self_signed_endpoint(
+        self, hostname: str, owner: str, lifetime_years: float = 10.0
+    ) -> ServerEndpoint:
+        """Register the Section 5.3.1 oddity: a lone long-lived self-signed
+        certificate served instead of a chain."""
+        hostname = hostname.lower()
+        rng = self._rng.child("endpoint", hostname)
+        authority = CertificateAuthority.self_signed_root(
+            hostname,
+            rng.child("self-signed"),
+            not_before=STUDY_START.plus_years(-1),
+            lifetime_years=lifetime_years,
+        )
+        endpoint = ServerEndpoint(
+            hostname=hostname,
+            chain=CertificateChain.of(authority.certificate),
+            owner=owner,
+            supported_versions=self._server_versions(rng),
+            supported_suites=self._server_suites(rng),
+            leaf_key=authority.key,
+            pki_kind="self-signed",
+        )
+        self._endpoints[hostname] = endpoint
+        self.parties.register(hostname, owner)
+        return endpoint

@@ -1,0 +1,60 @@
+"""Simulated TLS stack.
+
+Models the parts of TLS that the paper's dynamic analysis observes on the
+wire: protocol version negotiation, ciphersuite advertisement (including the
+weak suites Table 8 counts), SNI, the certificate message, alerts, and the
+record-level traffic patterns that drive the used/failed-connection
+heuristics of Section 4.2.2 — in particular TLS 1.3's disguising of all
+encrypted records as "Encrypted Application Data".
+
+Client-side certificate checking is pluggable via
+:mod:`repro.tls.policy` — the mechanism apps use to implement (or subvert)
+pinning.
+"""
+
+from repro.tls.alerts import Alert, AlertDescription
+from repro.tls.ciphers import (
+    CipherSuite,
+    MODERN_SUITES,
+    WEAK_SUITES,
+    is_weak_suite,
+)
+from repro.tls.handshake import ClientProfile, HandshakeOutcome, perform_handshake
+from repro.tls.policy import (
+    CompositePolicy,
+    NSCPinPolicy,
+    PinnedCertificatePolicy,
+    SpkiPinPolicy,
+    SystemValidationPolicy,
+    TrustAllPolicy,
+    ValidationPolicy,
+)
+from repro.tls.records import (
+    ContentType,
+    Direction,
+    TLSRecord,
+    TLSVersion,
+)
+
+__all__ = [
+    "Alert",
+    "AlertDescription",
+    "CipherSuite",
+    "ClientProfile",
+    "CompositePolicy",
+    "ContentType",
+    "Direction",
+    "HandshakeOutcome",
+    "MODERN_SUITES",
+    "NSCPinPolicy",
+    "PinnedCertificatePolicy",
+    "SpkiPinPolicy",
+    "SystemValidationPolicy",
+    "TLSRecord",
+    "TLSVersion",
+    "TrustAllPolicy",
+    "ValidationPolicy",
+    "WEAK_SUITES",
+    "is_weak_suite",
+    "perform_handshake",
+]

@@ -1,0 +1,30 @@
+"""JA3-style client fingerprints.
+
+Section 4.5 notes that iOS OS-initiated traffic "exhibits a similar TLS
+fingerprint as regular app traffic", which is why the paper could not
+separate the two by fingerprinting and had to exclude associated domains
+instead.  The simulation reproduces that: OS services and apps on the same
+platform share a client stack and therefore a fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from repro.tls.ciphers import CipherSuite
+from repro.tls.records import TLSVersion
+
+
+def ja3_fingerprint(
+    versions: Sequence[TLSVersion], suites: Sequence[CipherSuite]
+) -> str:
+    """Deterministic digest of the ClientHello-visible parameters.
+
+    Same offered versions + suites (in order) ⇒ same fingerprint, as with
+    real JA3.
+    """
+    material = ",".join(v.value for v in versions) + "|" + ",".join(
+        s.name for s in suites
+    )
+    return hashlib.md5(material.encode("ascii")).hexdigest()

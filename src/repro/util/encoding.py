@@ -1,0 +1,115 @@
+"""Encoding helpers shared by the PKI layer and the static analyzer.
+
+These mirror the encodings the paper's static analysis searches for:
+base64 SPKI digests (``sha256/...`` pins), hex digests, and PEM-armoured
+certificate blobs delimited by ``-----BEGIN CERTIFICATE-----``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import re
+from typing import List
+
+from repro.errors import EncodingError
+
+PEM_BEGIN = "-----BEGIN {label}-----"
+PEM_END = "-----END {label}-----"
+
+_BASE64_RE = re.compile(r"^[A-Za-z0-9+/]+={0,2}$")
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha1_hex(data: bytes) -> str:
+    """Hex SHA-1 digest of ``data``."""
+    return hashlib.sha1(data).hexdigest()
+
+
+def hexdigest(data: bytes, algorithm: str = "sha256") -> str:
+    """Hex digest of ``data`` with the named algorithm (sha1 or sha256)."""
+    if algorithm == "sha256":
+        return sha256_hex(data)
+    if algorithm == "sha1":
+        return sha1_hex(data)
+    raise EncodingError(f"unsupported digest algorithm: {algorithm!r}")
+
+
+def b64encode_nopad(data: bytes) -> str:
+    """Standard base64 without trailing padding (as in HPKP pin headers)."""
+    return base64.b64encode(data).decode("ascii").rstrip("=")
+
+
+def b64encode(data: bytes) -> str:
+    """Standard base64 with padding."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def b64decode(text: str) -> bytes:
+    """Decode base64, tolerating missing padding."""
+    padded = text + "=" * (-len(text) % 4)
+    try:
+        return base64.b64decode(padded, validate=True)
+    except Exception as exc:
+        raise EncodingError(f"invalid base64 payload: {text[:32]!r}...") from exc
+
+
+def looks_like_base64(text: str) -> bool:
+    """Heuristic used by the hash-grep: is this a plausible base64 token?"""
+    if not text:
+        return False
+    return bool(_BASE64_RE.match(text))
+
+
+def pem_wrap(der: bytes, label: str = "CERTIFICATE", width: int = 64) -> str:
+    """Armor a DER-like payload into a PEM block.
+
+    Args:
+        der: raw payload bytes.
+        label: PEM label (``CERTIFICATE``, ``PUBLIC KEY``...).
+        width: line-wrap width for the base64 body.
+    """
+    body = b64encode(der)
+    lines = [body[i : i + width] for i in range(0, len(body), width)]
+    return "\n".join(
+        [PEM_BEGIN.format(label=label), *lines, PEM_END.format(label=label)]
+    )
+
+
+def pem_unwrap(text: str, label: str = "CERTIFICATE") -> List[bytes]:
+    """Extract every PEM block with the given label from ``text``.
+
+    Returns:
+        The decoded payload of each block, in order of appearance.
+
+    Raises:
+        EncodingError: if a block's body is not valid base64.
+    """
+    begin = PEM_BEGIN.format(label=label)
+    end = PEM_END.format(label=label)
+    blocks: List[bytes] = []
+    cursor = 0
+    while True:
+        start = text.find(begin, cursor)
+        if start < 0:
+            break
+        stop = text.find(end, start)
+        if stop < 0:
+            raise EncodingError("unterminated PEM block")
+        body = text[start + len(begin) : stop]
+        blocks.append(b64decode("".join(body.split())))
+        cursor = stop + len(end)
+    return blocks
+
+
+def contains_pem_delimiter(text: str) -> bool:
+    """True if the text contains a certificate PEM begin marker.
+
+    This is exactly the string the paper greps for in app code
+    (Section 4.1.2).
+    """
+    return "-----BEGIN CERTIFICATE-----" in text

@@ -1,0 +1,170 @@
+"""Deterministic random number generation.
+
+The whole simulation must be reproducible from a single integer seed.  Two
+rules keep that true:
+
+1. Never touch the global :mod:`random` state — every component owns a
+   :class:`DeterministicRng`.
+2. Child generators are derived with :func:`derive_seed` from a parent seed
+   plus a stable label, so adding a new consumer never perturbs the stream
+   seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def derive_seed(parent_seed: int, *labels: object) -> int:
+    """Derive a child seed from ``parent_seed`` and a sequence of labels.
+
+    The derivation hashes the parent seed together with the labels, so the
+    child stream is statistically independent of the parent and of siblings
+    derived with different labels.
+
+    Args:
+        parent_seed: the seed of the owning component.
+        labels: any hashable, ``str()``-able values identifying the child
+            (e.g. ``("app", 17, "behavior")``).
+
+    Returns:
+        A 63-bit non-negative integer seed.
+    """
+    material = repr(parent_seed) + "\x1f" + "\x1f".join(str(l) for l in labels)
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+class DeterministicRng:
+    """A seeded random source with convenience draws used across the library.
+
+    Thin wrapper around :class:`random.Random` that adds child derivation and
+    a few domain-specific helpers (weighted choice without replacement,
+    hex/identifier strings).
+    """
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        self._random = random.Random(self.seed)
+
+    def child(self, *labels: object) -> "DeterministicRng":
+        """Return an independent generator derived from this one's seed."""
+        return DeterministicRng(derive_seed(self.seed, *labels))
+
+    # -- primitive draws ---------------------------------------------------
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high], inclusive."""
+        return self._random.randint(low, high)
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._random.gauss(mu, sigma)
+
+    def expovariate(self, lambd: float) -> float:
+        return self._random.expovariate(lambd)
+
+    def chance(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self._random.random() < probability
+
+    # -- collection draws --------------------------------------------------
+
+    def choice(self, items: Sequence[T]) -> T:
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._random.choice(items)
+
+    def sample(self, items: Sequence[T], k: int) -> List[T]:
+        """Sample ``k`` distinct items (``k`` is clamped to ``len(items)``)."""
+        k = min(k, len(items))
+        return self._random.sample(list(items), k)
+
+    def shuffled(self, items: Iterable[T]) -> List[T]:
+        """Return a new shuffled list; the input is not modified."""
+        out = list(items)
+        self._random.shuffle(out)
+        return out
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._random.choices(list(items), weights=list(weights), k=1)[0]
+
+    def weighted_sample(
+        self, items: Sequence[T], weights: Sequence[float], k: int
+    ) -> List[T]:
+        """Weighted sampling *without* replacement via sequential draws."""
+        pool = list(items)
+        pool_weights = list(weights)
+        out: List[T] = []
+        k = min(k, len(pool))
+        for _ in range(k):
+            pick = self.weighted_choice(pool, pool_weights)
+            idx = pool.index(pick)
+            pool.pop(idx)
+            pool_weights.pop(idx)
+            out.append(pick)
+        return out
+
+    def poisson(self, lam: float) -> int:
+        """Draw from a Poisson distribution (Knuth's method; lam < ~700)."""
+        if lam <= 0:
+            return 0
+        import math
+
+        threshold = math.exp(-lam)
+        count = 0
+        product = self._random.random()
+        while product > threshold:
+            count += 1
+            product *= self._random.random()
+        return count
+
+    def zipf_rank(self, n: int, exponent: float = 1.0) -> int:
+        """Draw a 1-based rank in [1, n] with Zipf-like probability."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        weights = [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+        total = sum(weights)
+        target = self._random.random() * total
+        acc = 0.0
+        for rank, weight in enumerate(weights, start=1):
+            acc += weight
+            if target <= acc:
+                return rank
+        return n
+
+    # -- string draws ------------------------------------------------------
+
+    def hex_string(self, length: int) -> str:
+        """Random lowercase hex string of the given length."""
+        alphabet = "0123456789abcdef"
+        return "".join(self._random.choice(alphabet) for _ in range(length))
+
+    def token(self, length: int, alphabet: Optional[str] = None) -> str:
+        """Random identifier-ish token."""
+        alphabet = alphabet or "abcdefghijklmnopqrstuvwxyz0123456789"
+        return "".join(self._random.choice(alphabet) for _ in range(length))
+
+    def random_bytes(self, length: int) -> bytes:
+        return bytes(self._random.randrange(256) for _ in range(length))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DeterministicRng(seed={self.seed})"

@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Corpus generation and full study runs are the expensive parts, so they
+are session-scoped: one small corpus (≈6 % of paper scale) serves every
+integration test deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusConfig, CorpusGenerator
+from repro.pki.authority import PKIHierarchy
+from repro.pki.store import StoreCatalog
+from repro.servers.registry import EndpointRegistry
+from repro.util.rng import DeterministicRng
+
+TEST_SEED = 2022
+TEST_SCALE = 0.06
+
+
+@pytest.fixture(scope="session")
+def rng() -> DeterministicRng:
+    return DeterministicRng(TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def hierarchy() -> PKIHierarchy:
+    return PKIHierarchy(DeterministicRng(TEST_SEED).child("pki"))
+
+
+@pytest.fixture(scope="session")
+def stores(hierarchy) -> StoreCatalog:
+    return StoreCatalog.build(hierarchy)
+
+
+@pytest.fixture(scope="session")
+def registry(hierarchy) -> EndpointRegistry:
+    reg = EndpointRegistry(
+        hierarchy, DeterministicRng(TEST_SEED).child("registry")
+    )
+    reg.create_default_pki_endpoint("api.example.com", "ExampleCo")
+    reg.create_default_pki_endpoint("cdn.example.com", "ExampleCo", wildcard=True)
+    reg.create_default_pki_endpoint("tracker.adnet.io", "AdNet")
+    return reg
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    config = CorpusConfig(seed=TEST_SEED).scaled(TEST_SCALE)
+    return CorpusGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def study_results(small_corpus):
+    from repro.core.analysis import Study
+
+    return Study(small_corpus).run()

@@ -1,0 +1,60 @@
+"""Unit tests for certificate-level analyses (Table 6 / Section 5.3)."""
+
+import pytest
+
+from repro.core.analysis.certificates import (
+    PKIClassification,
+    classify_pinned_destinations,
+    pki_table,
+)
+
+
+class TestPKIClassification:
+    def test_add_dispatch(self):
+        c = PKIClassification(platform="android")
+        c.add("default")
+        c.add("default")
+        c.add("custom")
+        c.add("self-signed")
+        c.add("unknown-kind")
+        assert c.default_pki == 2
+        assert c.custom_pki == 1
+        assert c.self_signed == 1
+        assert c.unavailable == 1
+
+    def test_table_rendering(self):
+        rows = [
+            PKIClassification(platform="android", default_pki=163, custom_pki=4),
+            PKIClassification(platform="ios", default_pki=238, custom_pki=1),
+        ]
+        rendered = pki_table(rows).render()
+        assert "163" in rendered and "238" in rendered
+
+
+class TestClassifyFromStudy:
+    def test_default_dominates(self, small_corpus, study_results):
+        for platform in ("android", "ios"):
+            c = classify_pinned_destinations(
+                small_corpus, platform, study_results.all_dynamic(platform)
+            )
+            total = c.default_pki + c.custom_pki + c.self_signed
+            assert total > 0
+            assert c.default_pki >= 0.6 * total
+
+    def test_classification_matches_endpoint_ground_truth(
+        self, small_corpus, study_results
+    ):
+        c = classify_pinned_destinations(
+            small_corpus, "android", study_results.all_dynamic("android")
+        )
+        gt = {"default": 0, "custom": 0, "self-signed": 0}
+        seen = set()
+        for result in study_results.all_dynamic("android"):
+            for destination in result.pinned_destinations:
+                if destination in seen:
+                    continue
+                seen.add(destination)
+                gt[small_corpus.registry.resolve(destination).pki_kind] += 1
+        assert c.default_pki == gt["default"]
+        assert c.custom_pki == gt["custom"]
+        assert c.self_signed == gt["self-signed"]

@@ -1,0 +1,119 @@
+"""Tests for the consistency classifier (Section 5.1 definitions)."""
+
+import pytest
+
+from repro.core.analysis.consistency import (
+    ConsistencyClassification,
+    PairObservation,
+    classify_pair,
+    figure2_table,
+    figure3_table,
+    figure4_tables,
+    summarize_pairs,
+)
+
+
+def obs(ap=(), au=(), ip=(), iu=()):
+    return PairObservation(
+        android_pinned=set(ap),
+        android_unpinned=set(au),
+        ios_pinned=set(ip),
+        ios_unpinned=set(iu),
+    )
+
+
+class TestClassifyPair:
+    def test_no_pinning(self):
+        c = classify_pair(obs(au={"a"}, iu={"a"}))
+        assert c.verdict == "none"
+        assert not c.pins_either
+
+    def test_identical_consistent(self):
+        c = classify_pair(obs(ap={"x"}, ip={"x"}))
+        assert c.verdict == "consistent"
+        assert c.identical_sets
+        assert c.jaccard == 1.0
+
+    def test_partial_consistent(self):
+        # Shared pinned domain; extras never observed cross-platform.
+        c = classify_pair(obs(ap={"x", "a"}, ip={"x", "b", "c"}))
+        assert c.verdict == "consistent"
+        assert not c.identical_sets
+        assert c.jaccard == pytest.approx(0.25)
+
+    def test_inconsistent_android_pin_unpinned_on_ios(self):
+        c = classify_pair(obs(ap={"x", "e"}, ip={"x"}, iu={"e"}))
+        assert c.verdict == "inconsistent"
+        assert c.android_cross_unpinned == pytest.approx(0.5)
+        assert c.ios_cross_unpinned == 0.0
+        assert c.jaccard == pytest.approx(0.5)
+
+    def test_inconsistent_both_directions(self):
+        c = classify_pair(obs(ap={"e"}, au={"f"}, ip={"f"}, iu={"e"}))
+        assert c.verdict == "inconsistent"
+        assert c.android_cross_unpinned == 1.0
+        assert c.ios_cross_unpinned == 1.0
+        assert c.jaccard == 0.0
+
+    def test_both_inconclusive(self):
+        c = classify_pair(obs(ap={"e"}, ip={"f"}, au={"z"}, iu={"z"}))
+        assert c.pins_both
+        assert c.verdict == "inconclusive"
+
+    def test_android_only_inconsistent(self):
+        c = classify_pair(obs(ap={"x"}, iu={"x"}))
+        assert c.pins_android and not c.pins_ios
+        assert c.verdict == "inconsistent"
+        assert c.android_cross_unpinned == 1.0
+
+    def test_android_only_inconclusive(self):
+        c = classify_pair(obs(ap={"x"}, iu={"y"}))
+        assert c.verdict == "inconclusive"
+
+    def test_ios_only_inconsistent(self):
+        c = classify_pair(obs(ip={"x"}, au={"x"}))
+        assert c.pins_ios and not c.pins_android
+        assert c.verdict == "inconsistent"
+        assert c.ios_cross_unpinned == 1.0
+
+
+class TestSummaryAndFigures:
+    def _classifications(self):
+        return [
+            classify_pair(obs(ap={"x"}, ip={"x"})),  # both consistent
+            classify_pair(obs(ap={"x", "e"}, ip={"x"}, iu={"e"})),  # both inc.
+            classify_pair(obs(ap={"e"}, ip={"f"})),  # both inconclusive
+            classify_pair(obs(ap={"x"}, iu={"x"})),  # android-only inc.
+            classify_pair(obs(ap={"x"})),  # android-only inconclusive
+            classify_pair(obs(ip={"x"}, au={"x"})),  # ios-only inc.
+            classify_pair(obs()),  # none
+        ]
+
+    def test_summary_counts(self):
+        summary = summarize_pairs(self._classifications())
+        assert summary.total_pinning_either == 6
+        assert summary.pins_both == 3
+        assert summary.both_consistent == 1
+        assert summary.both_identical == 1
+        assert summary.both_inconsistent == 1
+        assert summary.both_inconclusive == 1
+        assert summary.android_only == 2
+        assert summary.android_only_inconsistent == 1
+        assert summary.ios_only == 1
+        assert summary.ios_only_inconsistent == 1
+
+    def test_figure2_table_rows(self):
+        table = figure2_table(summarize_pairs(self._classifications()))
+        rendered = table.render()
+        assert "Pin on both platforms" in rendered
+
+    def test_figure3_only_both_inconsistent(self):
+        named = [(f"app{i}", c) for i, c in enumerate(self._classifications())]
+        table = figure3_table(named)
+        assert len(table.rows) == 1
+
+    def test_figure4_split(self):
+        named = [(f"app{i}", c) for i, c in enumerate(self._classifications())]
+        android, ios = figure4_tables(named)
+        assert len(android.rows) == 2
+        assert len(ios.rows) == 1

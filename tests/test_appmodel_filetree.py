@@ -1,0 +1,76 @@
+"""Tests for repro.appmodel.filetree."""
+
+import re
+
+import pytest
+
+from repro.appmodel.filetree import FileNode, FileTree
+from repro.errors import AppModelError
+
+
+class TestFileNode:
+    def test_name_and_extension(self):
+        node = FileNode("assets/certs/server.PEM")
+        assert node.name == "server.PEM"
+        assert node.extension == ".pem"
+
+    def test_no_extension(self):
+        assert FileNode("bin/app").extension == ""
+
+
+class TestFileTree:
+    def test_add_and_get(self):
+        tree = FileTree()
+        tree.add("a/b.txt", "hello")
+        assert tree.get("a/b.txt").content == "hello"
+        assert "a/b.txt" in tree
+        assert len(tree) == 1
+
+    def test_invalid_paths(self):
+        tree = FileTree()
+        with pytest.raises(AppModelError):
+            tree.add("")
+        with pytest.raises(AppModelError):
+            tree.add("/absolute/path")
+
+    def test_replace(self):
+        tree = FileTree()
+        tree.add("x", "one")
+        tree.add("x", "two")
+        assert tree.get("x").content == "two"
+        assert len(tree) == 1
+
+    def test_walk_sorted(self):
+        tree = FileTree()
+        tree.add("z.txt")
+        tree.add("a.txt")
+        assert [n.path for n in tree.walk()] == ["a.txt", "z.txt"]
+
+    def test_with_extensions(self):
+        tree = FileTree()
+        tree.add("one.pem")
+        tree.add("two.der")
+        tree.add("three.txt")
+        matched = tree.with_extensions((".pem", ".der"))
+        assert {n.path for n in matched} == {"one.pem", "two.der"}
+
+    def test_grep_skips_binary_by_default(self):
+        tree = FileTree()
+        tree.add("code.smali", "needle here")
+        tree.add("lib.so", "needle binary", binary=True)
+        pattern = re.compile("needle")
+        hits = tree.grep(pattern)
+        assert [n.path for n, _ in hits] == ["code.smali"]
+        hits_all = tree.grep(pattern, include_binary=True)
+        assert len(hits_all) == 2
+
+    def test_grep_multiple_matches_per_file(self):
+        tree = FileTree()
+        tree.add("f", "aaa bbb aaa")
+        assert len(tree.grep(re.compile("aaa"))) == 2
+
+    def test_paths(self):
+        tree = FileTree()
+        tree.add("b")
+        tree.add("a")
+        assert tree.paths() == ["a", "b"]

@@ -1,0 +1,77 @@
+"""Tests for repro.appmodel.plist."""
+
+import pytest
+
+from repro.appmodel.plist import (
+    ATSPinnedDomain,
+    Entitlements,
+    InfoPlist,
+)
+from repro.errors import AppModelError
+
+
+class TestInfoPlist:
+    def test_roundtrip_minimal(self):
+        info = InfoPlist(bundle_id="com.a.b", bundle_name="AB")
+        parsed = InfoPlist.from_plist_xml(info.to_plist_xml())
+        assert parsed.bundle_id == "com.a.b"
+        assert parsed.bundle_name == "AB"
+        assert parsed.ats_pinned_domains == []
+
+    def test_roundtrip_with_pinned_domains(self):
+        info = InfoPlist(
+            bundle_id="com.a.b",
+            bundle_name="AB",
+            ats_pinned_domains=[
+                ATSPinnedDomain(
+                    domain="api.a.com",
+                    include_subdomains=False,
+                    spki_sha256_base64=("QUJD", "REVG"),
+                )
+            ],
+        )
+        parsed = InfoPlist.from_plist_xml(info.to_plist_xml())
+        assert len(parsed.ats_pinned_domains) == 1
+        entry = parsed.ats_pinned_domains[0]
+        assert entry.domain == "api.a.com"
+        assert entry.include_subdomains is False
+        assert entry.spki_sha256_base64 == ("QUJD", "REVG")
+
+    def test_arbitrary_loads_flag(self):
+        info = InfoPlist(
+            bundle_id="x", bundle_name="x", ats_allows_arbitrary_loads=True
+        )
+        assert InfoPlist.from_plist_xml(
+            info.to_plist_xml()
+        ).ats_allows_arbitrary_loads
+
+    def test_malformed(self):
+        with pytest.raises(AppModelError):
+            InfoPlist.from_plist_xml("not a plist")
+
+    def test_missing_bundle_id(self):
+        import plistlib
+
+        xml = plistlib.dumps({"CFBundleName": "X"}).decode()
+        with pytest.raises(AppModelError):
+            InfoPlist.from_plist_xml(xml)
+
+
+class TestEntitlements:
+    def test_roundtrip(self):
+        ent = Entitlements(
+            bundle_id="com.a.b", associated_domains=("a.com", "www.a.com")
+        )
+        parsed = Entitlements.from_plist_xml(ent.to_plist_xml())
+        assert parsed.bundle_id == "com.a.b"
+        assert parsed.associated_domains == ("a.com", "www.a.com")
+
+    def test_empty_domains(self):
+        parsed = Entitlements.from_plist_xml(
+            Entitlements(bundle_id="x").to_plist_xml()
+        )
+        assert parsed.associated_domains == ()
+
+    def test_malformed(self):
+        with pytest.raises(AppModelError):
+            Entitlements.from_plist_xml("garbage")

@@ -1,0 +1,132 @@
+"""Tests for repro.corpus.categories, naming, profiles."""
+
+import pytest
+
+from repro.corpus.categories import (
+    ANDROID_CATEGORIES,
+    IOS_CATEGORIES,
+    category_distribution,
+    draw_category,
+    pinning_multiplier,
+)
+from repro.corpus.naming import (
+    GENERIC_THIRD_PARTY_HOSTS,
+    app_identity,
+    first_party_hosts,
+)
+from repro.corpus.profiles import (
+    DATASET_PROFILES,
+    PINNING_STYLES,
+    COMMON_CONSISTENCY,
+)
+from repro.util.rng import DeterministicRng
+
+
+class TestCategoryDistributions:
+    @pytest.mark.parametrize("platform", ["android", "ios"])
+    @pytest.mark.parametrize("dataset", ["common", "popular", "random"])
+    def test_distribution_sums_to_one(self, platform, dataset):
+        dist = category_distribution(platform, dataset)
+        assert sum(w for _, w in dist) == pytest.approx(1.0, abs=0.01)
+
+    def test_table1_heads_preserved(self):
+        dist = dict(category_distribution("android", "popular"))
+        assert dist["Games"] == pytest.approx(0.36)
+        dist_ios = dict(category_distribution("ios", "popular"))
+        assert dist_ios["Games"] == pytest.approx(0.21)
+
+    def test_draw_category_valid(self):
+        rng = DeterministicRng(1)
+        for _ in range(50):
+            assert draw_category("android", "random", rng) in ANDROID_CATEGORIES
+            assert draw_category("ios", "random", rng) in IOS_CATEGORIES
+
+    def test_games_dominates_popular_android(self):
+        rng = DeterministicRng(2)
+        draws = [draw_category("android", "popular", rng) for _ in range(1000)]
+        assert draws.count("Games") > 250
+
+
+class TestPinningMultipliers:
+    def test_finance_tops(self):
+        assert pinning_multiplier("Finance") == max(
+            pinning_multiplier(c) for c in ANDROID_CATEGORIES
+        )
+
+    def test_games_suppressed(self):
+        assert pinning_multiplier("Games") < 0.5
+
+    def test_unknown_category_neutral(self):
+        assert pinning_multiplier("Nonexistent") == 1.0
+
+
+class TestNaming:
+    def test_app_identity_deterministic(self):
+        a = app_identity(DeterministicRng(5), "android", 3)
+        b = app_identity(DeterministicRng(5), "android", 3)
+        assert a == b
+
+    def test_first_party_hosts(self):
+        hosts = first_party_hosts("acme1", 3)
+        assert hosts == ["api.acme1.com", "www.acme1.com", "cdn.acme1.com"]
+
+    def test_generic_hosts_have_owners(self):
+        for host, owner in GENERIC_THIRD_PARTY_HOSTS:
+            assert "." in host and owner
+
+
+class TestProfiles:
+    def test_all_six_cells_present(self):
+        for platform in ("android", "ios"):
+            for dataset in ("common", "popular", "random"):
+                assert (platform, dataset) in DATASET_PROFILES
+
+    def test_paper_shape_ios_pins_more(self):
+        for dataset in ("common", "popular", "random"):
+            assert (
+                DATASET_PROFILES[("ios", dataset)].dynamic_pin_rate
+                > DATASET_PROFILES[("android", dataset)].dynamic_pin_rate
+            )
+
+    def test_paper_shape_static_exceeds_dynamic(self):
+        for key, profile in DATASET_PROFILES.items():
+            assert profile.embedded_material_rate > profile.dynamic_pin_rate
+
+    def test_paper_shape_nsc_below_dynamic(self):
+        for dataset in ("common", "popular", "random"):
+            profile = DATASET_PROFILES[("android", dataset)]
+            assert profile.nsc_pin_rate < profile.dynamic_pin_rate
+
+    def test_ios_has_no_nsc(self):
+        for dataset in ("common", "popular", "random"):
+            assert DATASET_PROFILES[("ios", dataset)].nsc_pin_rate == 0.0
+
+    def test_style_weights_normalized(self):
+        for style in PINNING_STYLES.values():
+            assert sum(style.mechanism_weights.values()) == pytest.approx(1.0)
+            assert sum(style.scope_weights.values()) == pytest.approx(1.0)
+            assert sum(style.form_weights.values()) == pytest.approx(1.0)
+
+    def test_ca_pin_share_near_three_quarters(self):
+        from repro.appmodel.pinning import PinScope
+
+        for style in PINNING_STYLES.values():
+            ca = (
+                style.scope_weights[PinScope.ROOT]
+                + style.scope_weights[PinScope.INTERMEDIATE]
+            )
+            assert 0.65 < ca < 0.80
+
+    def test_common_consistency_counts_sum(self):
+        p = COMMON_CONSISTENCY
+        assert (
+            p.both_platforms + p.android_only + p.ios_only
+            == p.total_pinning_either
+        )
+        assert (
+            p.both_identical
+            + p.both_partial_consistent
+            + p.both_inconsistent
+            + p.both_inconclusive
+            == p.both_platforms
+        )

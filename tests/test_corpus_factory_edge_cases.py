@@ -1,0 +1,147 @@
+"""Factory and planner edge cases: pin-everything, lax hostname checks,
+NSC misconfigurations, Common-pair class wiring at paper scale."""
+
+import pytest
+
+from repro.appmodel.pinning import PinMechanism
+from repro.corpus import CorpusConfig, CorpusGenerator
+from repro.corpus.common import consistency_class_counts
+
+
+class TestPinEverythingApps:
+    def test_exist_and_contact_only_pinned(self, small_corpus):
+        found = []
+        for dataset in ("popular",):
+            for packaged in small_corpus.dataset(
+                "android", dataset
+            ) + small_corpus.dataset("ios", dataset):
+                app = packaged.app
+                if not app.pins_at_runtime():
+                    continue
+                hosts = app.behavior.destinations()
+                if hosts and all(app.pins_domain(h) for h in hosts):
+                    found.append(app)
+        # The 5 %-of-pinners class materialises at this scale or not —
+        # but when it does, behaviour must contain at least one usage.
+        for app in found:
+            assert app.behavior.usages
+
+
+class TestLaxHostnameApps:
+    def test_lax_spec_policy_skips_hostname(self, small_corpus):
+        from repro.util.simtime import STUDY_START
+
+        lax_apps = [
+            p.app
+            for p in small_corpus.all_apps()
+            if any(s.skips_hostname_check for s in p.app.active_specs())
+        ]
+        assert lax_apps, "corpus should include lax implementations"
+        for app in lax_apps:
+            store = (
+                small_corpus.stores.android_aosp
+                if app.platform == "android"
+                else small_corpus.stores.ios
+            )
+            policy = app.runtime_policy(store)
+            for spec in app.active_specs():
+                if not spec.skips_hostname_check:
+                    continue
+                for domain in spec.domains:
+                    resolved = spec.resolved[domain]
+                    if not resolved.default_pki:
+                        continue
+                    chain = small_corpus.registry.resolve(domain).chain
+                    # The chain still passes for its true hostname.
+                    assert policy.accepts(chain, domain, STUDY_START)
+
+    def test_lax_pins_still_detected_as_pinned(self, small_corpus):
+        """Skipping hostname checks does not change MITM rejection: the
+        proxy's forged chain fails the *pin*, so dynamic detection is
+        unaffected."""
+        from repro.core.dynamic import DynamicPipeline
+
+        pipeline = DynamicPipeline(small_corpus)
+        lax = [
+            p
+            for p in small_corpus.all_apps()
+            if any(
+                s.skips_hostname_check and s.active_at_runtime()
+                for s in p.app.pinning_specs
+            )
+        ]
+        for packaged in lax[:3]:
+            result = pipeline.run_app(packaged)
+            expected = {
+                u.hostname
+                for u in packaged.app.behavior.usages_within(30)
+                if packaged.app.pins_domain(u.hostname)
+            }
+            assert result.pinned_destinations == expected
+
+
+class TestNSCMisconfigApps:
+    def test_override_specs_have_endpoints_and_usages(self, small_corpus):
+        found = 0
+        for packaged in small_corpus.all_apps("android"):
+            app = packaged.app
+            for spec in app.pinning_specs:
+                if not spec.nsc_override_pins:
+                    continue
+                found += 1
+                for domain in spec.domains:
+                    assert small_corpus.registry.knows(domain)
+                    assert app.behavior.usage_for(domain) is not None
+                    assert not app.pins_domain(domain)
+        assert found > 0
+
+    def test_override_visible_in_package(self, small_corpus):
+        from repro.appmodel.nsc import NSCConfig
+
+        for packaged in small_corpus.dataset("android", "popular"):
+            app = packaged.app
+            if not any(s.nsc_override_pins for s in app.pinning_specs):
+                continue
+            node = packaged.package.get("res/xml/network_security_config.xml")
+            assert node is not None
+            config = NSCConfig.from_xml(node.content)
+            assert any(dc.override_pins for dc in config.domain_configs)
+
+
+class TestPaperScaleClassCounts:
+    def test_counts_sum_to_paper_figures(self):
+        counts = consistency_class_counts(575)
+        pinning = sum(v for k, v in counts.items() if k != "none")
+        assert pinning == 69
+        assert (
+            counts["both_identical"]
+            + counts["both_partial"]
+            + counts["both_inconsistent"]
+            + counts["both_inconclusive"]
+            == 27
+        )
+        assert (
+            counts["android_only_inconsistent"]
+            + counts["android_only_inconclusive"]
+            == 20
+        )
+        assert (
+            counts["ios_only_inconsistent"] + counts["ios_only_inconclusive"]
+            == 22
+        )
+
+
+class TestNSCMechanismConstraints:
+    def test_nsc_pinners_never_custom_pki(self, small_corpus):
+        for packaged in small_corpus.all_apps("android"):
+            for spec in packaged.app.pinning_specs:
+                if spec.mechanism is PinMechanism.NSC and not spec.nsc_override_pins:
+                    for domain in spec.domains:
+                        endpoint = small_corpus.registry.resolve(domain)
+                        assert endpoint.pki_kind == "default", domain
+
+    def test_nsc_specs_never_obfuscated(self, small_corpus):
+        for packaged in small_corpus.all_apps("android"):
+            for spec in packaged.app.pinning_specs:
+                if spec.mechanism is PinMechanism.NSC:
+                    assert not spec.obfuscated

@@ -1,0 +1,122 @@
+"""Tests for the used/failed classifiers — wire-visible patterns only."""
+
+import pytest
+
+from repro.core.dynamic.classify import connection_failed, connection_used
+from repro.netsim.flow import FlowRecord
+from repro.tls.connection import (
+    ConnectionTrace,
+    TEARDOWN_FIN,
+    TEARDOWN_OPEN,
+    TEARDOWN_RST,
+)
+from repro.tls.records import (
+    ContentType,
+    Direction,
+    TLSRecord,
+    TLSVersion,
+    TLS13_CLIENT_FINISHED_LEN,
+    TLS13_ENCRYPTED_ALERT_LEN,
+)
+from repro.util.simtime import STUDY_START
+
+
+def make_flow(version, client_app_lengths, teardown, server_app=0):
+    records = [
+        TLSRecord(ContentType.HANDSHAKE, Direction.CLIENT_TO_SERVER, 512),
+        TLSRecord(ContentType.HANDSHAKE, Direction.SERVER_TO_CLIENT, 3000),
+    ]
+    for length in client_app_lengths:
+        records.append(
+            TLSRecord(
+                ContentType.APPLICATION_DATA, Direction.CLIENT_TO_SERVER, length
+            )
+        )
+    for _ in range(server_app):
+        records.append(
+            TLSRecord(
+                ContentType.APPLICATION_DATA, Direction.SERVER_TO_CLIENT, 900
+            )
+        )
+    trace = ConnectionTrace(records=records, teardown=teardown)
+    return FlowRecord(
+        sni="x.com", started_at=STUDY_START, version=version, trace=trace
+    )
+
+
+class TestUsedTLS12:
+    def test_any_app_data_means_used(self):
+        flow = make_flow(TLSVersion.TLS12, [200], TEARDOWN_OPEN)
+        assert connection_used(flow)
+
+    def test_server_data_counts(self):
+        flow = make_flow(TLSVersion.TLS12, [], TEARDOWN_OPEN, server_app=1)
+        assert connection_used(flow)
+
+    def test_no_app_data_unused(self):
+        flow = make_flow(TLSVersion.TLS12, [], TEARDOWN_OPEN)
+        assert not connection_used(flow)
+
+
+class TestUsedTLS13:
+    def test_three_records_used(self):
+        flow = make_flow(
+            TLSVersion.TLS13,
+            [TLS13_CLIENT_FINISHED_LEN, 400, 700],
+            TEARDOWN_OPEN,
+        )
+        assert connection_used(flow)
+
+    def test_two_records_second_not_alert_sized_used(self):
+        flow = make_flow(
+            TLSVersion.TLS13, [TLS13_CLIENT_FINISHED_LEN, 600], TEARDOWN_OPEN
+        )
+        assert connection_used(flow)
+
+    def test_finished_plus_close_notify_unused(self):
+        flow = make_flow(
+            TLSVersion.TLS13,
+            [TLS13_CLIENT_FINISHED_LEN, TLS13_ENCRYPTED_ALERT_LEN],
+            TEARDOWN_FIN,
+        )
+        assert not connection_used(flow)
+
+    def test_lone_alert_unused(self):
+        flow = make_flow(
+            TLSVersion.TLS13, [TLS13_ENCRYPTED_ALERT_LEN], TEARDOWN_RST
+        )
+        assert not connection_used(flow)
+
+    def test_finished_only_unused(self):
+        flow = make_flow(
+            TLSVersion.TLS13, [TLS13_CLIENT_FINISHED_LEN], TEARDOWN_OPEN
+        )
+        assert not connection_used(flow)
+
+    def test_server_data_alone_not_counted_for_tls13(self):
+        # TLS 1.3 heuristics are defined on client records.
+        flow = make_flow(TLSVersion.TLS13, [], TEARDOWN_OPEN, server_app=2)
+        assert not connection_used(flow)
+
+
+class TestFailed:
+    def test_unused_and_rst_is_failed(self):
+        flow = make_flow(TLSVersion.TLS12, [], TEARDOWN_RST)
+        assert connection_failed(flow)
+
+    def test_unused_and_fin_is_failed(self):
+        flow = make_flow(TLSVersion.TLS12, [], TEARDOWN_FIN)
+        assert connection_failed(flow)
+
+    def test_unused_but_open_not_failed(self):
+        flow = make_flow(TLSVersion.TLS12, [], TEARDOWN_OPEN)
+        assert not connection_failed(flow)
+
+    def test_used_never_failed(self):
+        flow = make_flow(TLSVersion.TLS12, [300], TEARDOWN_RST)
+        assert not connection_failed(flow)
+
+    def test_version_unknown_unused(self):
+        flow = make_flow(None, [], TEARDOWN_RST)
+        assert not connection_used(flow)
+        assert connection_failed(flow)

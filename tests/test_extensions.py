@@ -1,0 +1,191 @@
+"""Tests for the extension analyses: Spinner probing and NSC misconfigs."""
+
+import pytest
+
+from repro.core.analysis.misconfig import (
+    find_nsc_misconfigurations,
+    misconfig_table,
+)
+from repro.core.analysis.spinner import (
+    build_probe_chain,
+    probe_app,
+    spinner_scan,
+    spinner_table,
+)
+
+
+class TestProbeChain:
+    def test_probe_for_default_pki(self, small_corpus):
+        endpoint = next(
+            e for e in small_corpus.registry if e.pki_kind == "default"
+        )
+        probe = build_probe_chain(small_corpus, endpoint.hostname)
+        assert probe is not None
+        assert probe.leaf.matches_hostname("attacker-controlled.example")
+        assert not probe.leaf.matches_hostname(endpoint.hostname)
+        # Same issuing CA: same intermediate in the chain.
+        assert probe.certificates[1:] == endpoint.chain.certificates[1:]
+
+    def test_probe_verifies_under_public_store(self, small_corpus):
+        from repro.pki.validation import ValidationContext, chain_is_valid
+        from repro.util.simtime import STUDY_START
+
+        endpoint = next(
+            e for e in small_corpus.registry if e.pki_kind == "default"
+        )
+        probe = build_probe_chain(small_corpus, endpoint.hostname)
+        ctx = ValidationContext(
+            store=small_corpus.stores.mozilla,
+            hostname="attacker-controlled.example",
+            at_time=STUDY_START,
+        )
+        assert chain_is_valid(probe, ctx)
+
+    def test_no_probe_for_custom_pki(self, small_corpus):
+        customs = [
+            e for e in small_corpus.registry if e.pki_kind != "default"
+        ]
+        for endpoint in customs:
+            assert build_probe_chain(small_corpus, endpoint.hostname) is None
+
+    def test_no_probe_for_unknown_host(self, small_corpus):
+        assert build_probe_chain(small_corpus, "nope.example.org") is None
+
+
+class TestSpinnerScan:
+    def test_scan_flags_only_lax_implementations(
+        self, small_corpus, study_results
+    ):
+        from repro.core.dynamic.pipeline import DynamicPipeline
+
+        for platform in ("android", "ios"):
+            store = (
+                small_corpus.stores.android_aosp
+                if platform == "android"
+                else small_corpus.stores.ios
+            )
+            report = spinner_scan(
+                small_corpus,
+                platform,
+                study_results.all_dynamic(platform),
+                store,
+            )
+            by_id = {p.app.app_id: p for p in small_corpus.all_apps(platform)}
+            for finding in report.findings:
+                app = by_id[finding.app_id].app
+                lax_domains = {
+                    d
+                    for s in app.active_specs()
+                    if s.skips_hostname_check and s.scope.is_ca
+                    for d in s.domains
+                }
+                if finding.vulnerable:
+                    assert finding.destination in lax_domains, finding
+
+    def test_scan_table_renders(self, small_corpus, study_results):
+        reports = [
+            spinner_scan(
+                small_corpus,
+                "android",
+                study_results.all_dynamic("android"),
+                small_corpus.stores.android_aosp,
+            )
+        ]
+        rendered = spinner_table(reports).render()
+        assert "Spinner probe" in rendered
+
+    def test_vulnerable_app_detected(self, small_corpus):
+        """Craft an app with the vulnerability and confirm the probe."""
+        from repro.appmodel.app import MobileApp
+        from repro.appmodel.behavior import DestinationUsage, NetworkBehavior
+        from repro.appmodel.pinning import (
+            PinMechanism,
+            PinningSpec,
+            PinScope,
+        )
+
+        endpoint = next(
+            e for e in small_corpus.registry if e.pki_kind == "default"
+        )
+        spec = PinningSpec(
+            domains=(endpoint.hostname,),
+            mechanism=PinMechanism.CUSTOM_TLS,
+            scope=PinScope.INTERMEDIATE,
+            skips_hostname_check=True,
+        )
+        spec.resolve_domain(endpoint.hostname, endpoint.chain)
+        app = MobileApp(
+            app_id="com.vulnerable.app",
+            name="Vulnerable",
+            platform="android",
+            category="Finance",
+            owner="VulnCo",
+            pinning_specs=[spec],
+            behavior=NetworkBehavior([DestinationUsage(endpoint.hostname)]),
+        )
+        policy = app.runtime_policy(small_corpus.stores.android_aosp)
+        probe = build_probe_chain(small_corpus, endpoint.hostname)
+        assert policy.accepts(probe, endpoint.hostname, __import__(
+            "repro.util.simtime", fromlist=["STUDY_START"]
+        ).STUDY_START)
+
+    def test_strict_app_rejects_probe(self, small_corpus):
+        from repro.appmodel.app import MobileApp
+        from repro.appmodel.behavior import DestinationUsage, NetworkBehavior
+        from repro.appmodel.pinning import (
+            PinMechanism,
+            PinningSpec,
+            PinScope,
+        )
+        from repro.util.simtime import STUDY_START
+
+        endpoint = next(
+            e for e in small_corpus.registry if e.pki_kind == "default"
+        )
+        spec = PinningSpec(
+            domains=(endpoint.hostname,),
+            mechanism=PinMechanism.OKHTTP,
+            scope=PinScope.INTERMEDIATE,
+        )
+        spec.resolve_domain(endpoint.hostname, endpoint.chain)
+        app = MobileApp(
+            app_id="com.strict.app",
+            name="Strict",
+            platform="android",
+            category="Finance",
+            owner="StrictCo",
+            pinning_specs=[spec],
+            behavior=NetworkBehavior([DestinationUsage(endpoint.hostname)]),
+        )
+        policy = app.runtime_policy(small_corpus.stores.android_aosp)
+        probe = build_probe_chain(small_corpus, endpoint.hostname)
+        assert not policy.accepts(probe, endpoint.hostname, STUDY_START)
+
+
+class TestNSCMisconfig:
+    def test_misconfig_report(self, small_corpus, study_results):
+        reports = list(study_results.static_by_app("android").values())
+        dynamic = study_results.all_dynamic("android")
+        report = find_nsc_misconfigurations(reports, dynamic)
+        assert report.apps_with_nsc_pins > 0
+        # Any misconfigured declaration must be unenforced at run time.
+        for finding in report.misconfigured:
+            assert finding.enforced_at_runtime is False
+
+    def test_misconfigured_domains_not_pinned_dynamically(
+        self, small_corpus, study_results
+    ):
+        by_id = {p.app.app_id: p for p in small_corpus.all_apps("android")}
+        for result in study_results.all_dynamic("android"):
+            app = by_id[result.app_id].app
+            for spec in app.pinning_specs:
+                if spec.nsc_override_pins:
+                    for domain in spec.domains:
+                        assert domain not in result.pinned_destinations
+
+    def test_table_renders(self, study_results):
+        reports = list(study_results.static_by_app("android").values())
+        rendered = misconfig_table(
+            find_nsc_misconfigurations(reports)
+        ).render()
+        assert "overridePins" in rendered

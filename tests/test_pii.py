@@ -1,0 +1,121 @@
+"""Tests for PII detection and the pinned/non-pinned comparison."""
+
+import pytest
+
+from repro.core.pii import PIIDetector, compare_pii_prevalence
+from repro.device.identifiers import DeviceIdentifiers
+from repro.errors import AnalysisError
+from repro.netsim.flow import FlowRecord, Payload
+from repro.util.rng import DeterministicRng
+from repro.util.simtime import STUDY_START
+
+
+@pytest.fixture
+def identifiers():
+    return DeviceIdentifiers.generate(DeterministicRng(111))
+
+
+def decrypted_flow(sni, fields):
+    return FlowRecord(
+        sni=sni,
+        started_at=STUDY_START,
+        plaintext_visible=True,
+        _payloads=(Payload(fields=tuple(fields)),),
+    )
+
+
+class TestPIIDetector:
+    def test_finds_ad_id(self, identifiers):
+        detector = PIIDetector(identifiers)
+        flow = decrypted_flow("x.com", [("idfa", identifiers.ad_id)])
+        hits = detector.scan_flow(flow)
+        assert [h.pii_type for h in hits] == ["ad_id"]
+        assert hits[0].field_key == "idfa"
+
+    def test_finds_value_embedded_in_larger_string(self, identifiers):
+        detector = PIIDetector(identifiers)
+        flow = decrypted_flow(
+            "x.com", [("blob", f"prefix-{identifiers.email}-suffix")]
+        )
+        assert detector.flow_pii_types(flow) == {"email"}
+
+    def test_multiple_types(self, identifiers):
+        detector = PIIDetector(identifiers)
+        flow = decrypted_flow(
+            "x.com",
+            [("a", identifiers.imei), ("b", identifiers.city), ("c", "benign")],
+        )
+        assert detector.flow_pii_types(flow) == {"imei", "city"}
+
+    def test_clean_flow(self, identifiers):
+        detector = PIIDetector(identifiers)
+        flow = decrypted_flow("x.com", [("k", "v")])
+        assert detector.scan_flow(flow) == []
+
+    def test_encrypted_flow_rejected(self, identifiers):
+        detector = PIIDetector(identifiers)
+        flow = FlowRecord(sni="x.com", started_at=STUDY_START)
+        with pytest.raises(AnalysisError):
+            detector.scan_flow(flow)
+
+    def test_prevalence(self, identifiers):
+        detector = PIIDetector(identifiers)
+        flows = [
+            decrypted_flow("a.com", [("id", identifiers.ad_id)]),
+            decrypted_flow("b.com", [("k", "v")]),
+        ]
+        prevalence = detector.prevalence(flows)
+        assert prevalence["ad_id"] == 0.5
+        assert prevalence["email"] == 0.0
+
+    def test_prevalence_empty(self, identifiers):
+        assert PIIDetector(identifiers).prevalence([])["ad_id"] == 0.0
+
+
+class TestComparison:
+    def test_rates_and_significance(self, identifiers):
+        detector = PIIDetector(identifiers)
+        pinned = [
+            decrypted_flow("p.com", [("id", identifiers.ad_id)])
+            for _ in range(80)
+        ] + [decrypted_flow("p.com", [("k", "v")]) for _ in range(20)]
+        non_pinned = [
+            decrypted_flow("n.com", [("id", identifiers.ad_id)])
+            for _ in range(20)
+        ] + [decrypted_flow("n.com", [("k", "v")]) for _ in range(80)]
+        comparison = compare_pii_prevalence(
+            "android", detector, pinned, non_pinned
+        )
+        row = comparison.row("ad_id")
+        assert row.pinned_rate == pytest.approx(0.8)
+        assert row.non_pinned_rate == pytest.approx(0.2)
+        assert row.significant
+
+    def test_equal_rates_not_significant(self, identifiers):
+        detector = PIIDetector(identifiers)
+        flows = [
+            decrypted_flow("x.com", [("id", identifiers.ad_id)])
+            for _ in range(50)
+        ] + [decrypted_flow("x.com", [("k", "v")]) for _ in range(50)]
+        comparison = compare_pii_prevalence("ios", detector, flows, list(flows))
+        assert not comparison.row("ad_id").significant
+
+    def test_absent_type_has_no_test(self, identifiers):
+        detector = PIIDetector(identifiers)
+        flows = [decrypted_flow("x.com", [("k", "v")])]
+        comparison = compare_pii_prevalence("ios", detector, flows, flows)
+        assert comparison.row("mac").chi_square is None
+
+    def test_unknown_type_raises(self, identifiers):
+        detector = PIIDetector(identifiers)
+        comparison = compare_pii_prevalence("ios", detector, [], [])
+        with pytest.raises(KeyError):
+            comparison.row("ssn")
+
+    def test_undecrypted_flows_skipped(self, identifiers):
+        detector = PIIDetector(identifiers)
+        encrypted = FlowRecord(sni="x.com", started_at=STUDY_START)
+        comparison = compare_pii_prevalence(
+            "ios", detector, [encrypted], [encrypted]
+        )
+        assert comparison.row("ad_id").pinned_total == 0

@@ -1,0 +1,80 @@
+"""Tests for reporting tables and the prevalence/security helpers."""
+
+import pytest
+
+from repro.core.analysis.prevalence import PrevalenceCell, prevalence_table
+from repro.core.analysis.security import CipherSecurityCell, cipher_table
+from repro.reporting.tables import Table, percent
+
+
+class TestTable:
+    def test_add_row_validates_width(self):
+        table = Table(title="T", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+        table.add_row(1, 2)
+        assert table.rows == [[1, 2]]
+
+    def test_render_contains_everything(self):
+        table = Table(title="My Table", headers=["x", "y"])
+        table.add_row("hello", 3.14159)
+        rendered = table.render()
+        assert "My Table" in rendered
+        assert "hello" in rendered
+        assert "3.14" in rendered
+
+    def test_column(self):
+        table = Table(title="T", headers=["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_csv(self):
+        table = Table(title="T", headers=["a", "b"])
+        table.add_row("x", 1)
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0] == "a,b"
+        assert "x,1" in csv_text
+
+    def test_percent(self):
+        assert percent(0.123456) == "12.35%"
+        assert percent(0.5, 0) == "50%"
+
+
+class TestPrevalenceCells:
+    def test_rate(self):
+        cell = PrevalenceCell(count=5, total=100)
+        assert cell.rate == 0.05
+        assert cell.render() == "5.00% (5)"
+
+    def test_zero_total(self):
+        assert PrevalenceCell(0, 0).rate == 0.0
+
+    def test_prevalence_table_layout(self):
+        cells = {
+            ("android", "popular"): {
+                "dynamic": PrevalenceCell(67, 1000),
+                "embedded": PrevalenceCell(197, 1000),
+                "nsc": PrevalenceCell(18, 1000),
+            },
+            ("ios", "popular"): {
+                "dynamic": PrevalenceCell(114, 1000),
+                "embedded": PrevalenceCell(334, 1000),
+                "nsc": PrevalenceCell(0, 1000),
+            },
+        }
+        table = prevalence_table(cells)
+        assert len(table.rows) == 2
+        ios_row = table.rows[1]
+        assert ios_row[-1] == "-"  # no NSC column on iOS
+
+
+class TestCipherTable:
+    def test_layout(self):
+        cells = {
+            ("android", "popular"): CipherSecurityCell(0.18, 0.015, 1000, 67),
+            ("ios", "popular"): CipherSecurityCell(0.95, 0.46, 1000, 114),
+        }
+        table = cipher_table(cells)
+        assert len(table.rows) == 2
+        assert table.rows[0][2] == "18.00%"

@@ -1,0 +1,98 @@
+"""Trace synthesis for negotiation failures and abort styles."""
+
+import pytest
+
+from repro.tls.connection import (
+    TEARDOWN_FIN,
+    TEARDOWN_RST,
+    synthesize_trace,
+)
+from repro.tls.handshake import HandshakeOutcome
+from repro.tls.records import ContentType, Direction, TLSVersion
+from repro.util.rng import DeterministicRng
+
+
+class TestNegotiationFailureTraces:
+    def test_no_common_version(self):
+        outcome = HandshakeOutcome(
+            success=False, failure_reason="no_common_version"
+        )
+        trace = synthesize_trace(outcome, DeterministicRng(1))
+        assert trace.teardown == TEARDOWN_FIN
+        # ClientHello + server alert, nothing else.
+        assert len(trace.records) == 2
+        assert trace.records[1].content_type is ContentType.ALERT
+        assert trace.records[1].direction is Direction.SERVER_TO_CLIENT
+        assert not trace.client_app_data_records()
+
+    def test_no_common_cipher(self):
+        outcome = HandshakeOutcome(
+            success=False,
+            version=TLSVersion.TLS12,
+            failure_reason="no_common_cipher",
+        )
+        trace = synthesize_trace(outcome, DeterministicRng(2))
+        assert trace.teardown == TEARDOWN_FIN
+        alerts = [
+            r for r in trace.records if r.content_type is ContentType.ALERT
+        ]
+        assert len(alerts) == 1
+
+    def test_rejection_abort_styles_vary(self):
+        from repro.tls.alerts import Alert, AlertDescription
+
+        outcome = HandshakeOutcome(
+            success=False,
+            version=TLSVersion.TLS12,
+            client_alert=Alert(AlertDescription.BAD_CERTIFICATE),
+            failure_reason="pin_mismatch",
+        )
+        teardowns = {
+            synthesize_trace(outcome, DeterministicRng(i)).teardown
+            for i in range(40)
+        }
+        # Both abort styles occur across seeds (Section 4.2.2: alert *or*
+        # TCP reset).
+        assert teardowns == {TEARDOWN_RST, TEARDOWN_FIN}
+
+    def test_rejection_sometimes_silent(self):
+        """Some clients reset without sending any alert record."""
+        from repro.tls.alerts import Alert, AlertDescription
+
+        outcome = HandshakeOutcome(
+            success=False,
+            version=TLSVersion.TLS13,
+            client_alert=Alert(AlertDescription.BAD_CERTIFICATE),
+            failure_reason="pin_mismatch",
+        )
+        alert_counts = set()
+        for i in range(40):
+            trace = synthesize_trace(outcome, DeterministicRng(i))
+            alert_counts.add(len(trace.client_app_data_records()))
+        assert alert_counts == {0, 1}
+
+    def test_server_payload_records(self):
+        outcome = HandshakeOutcome(
+            success=True, version=TLSVersion.TLS12, cipher=None
+        )
+        trace = synthesize_trace(
+            outcome,
+            DeterministicRng(3),
+            client_payload_records=1,
+            server_payload_records=2,
+        )
+        server_data = [
+            r
+            for r in trace.records
+            if r.direction is Direction.SERVER_TO_CLIENT
+            and r.content_type is ContentType.APPLICATION_DATA
+        ]
+        assert len(server_data) == 2
+
+    def test_app_data_lengths_realistic(self):
+        outcome = HandshakeOutcome(success=True, version=TLSVersion.TLS13)
+        trace = synthesize_trace(
+            outcome, DeterministicRng(4), client_payload_records=50
+        )
+        lengths = [r.length for r in trace.client_app_data_records()[1:]]
+        assert all(80 <= l <= 16384 for l in lengths)

@@ -1,0 +1,123 @@
+"""Tests for repro.util.rng."""
+
+import pytest
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_parent_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_non_negative_63_bit(self):
+        for seed in range(50):
+            value = derive_seed(seed, "x")
+            assert 0 <= value < 2**63
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_children_are_independent(self):
+        parent = DeterministicRng(7)
+        child_a = parent.child("a")
+        child_b = parent.child("b")
+        assert child_a.seed != child_b.seed
+
+    def test_child_does_not_consume_parent_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        a.child("x")
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+    def test_chance_extremes(self):
+        rng = DeterministicRng(1)
+        assert rng.chance(1.0) is True
+        assert rng.chance(0.0) is False
+        assert rng.chance(1.5) is True
+        assert rng.chance(-0.5) is False
+
+    def test_chance_rate(self):
+        rng = DeterministicRng(3)
+        hits = sum(rng.chance(0.3) for _ in range(10_000))
+        assert 2700 < hits < 3300
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).choice([])
+
+    def test_sample_clamps(self):
+        rng = DeterministicRng(1)
+        assert sorted(rng.sample([1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_shuffled_does_not_mutate(self):
+        rng = DeterministicRng(1)
+        items = [1, 2, 3, 4, 5]
+        out = rng.shuffled(items)
+        assert items == [1, 2, 3, 4, 5]
+        assert sorted(out) == items
+
+    def test_weighted_choice_respects_weights(self):
+        rng = DeterministicRng(5)
+        picks = [
+            rng.weighted_choice(["a", "b"], [0.99, 0.01]) for _ in range(500)
+        ]
+        assert picks.count("a") > 450
+
+    def test_weighted_choice_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).weighted_choice(["a"], [1.0, 2.0])
+
+    def test_weighted_sample_no_replacement(self):
+        rng = DeterministicRng(2)
+        out = rng.weighted_sample(list(range(10)), [1.0] * 10, 10)
+        assert sorted(out) == list(range(10))
+
+    def test_weighted_sample_clamps(self):
+        rng = DeterministicRng(2)
+        assert len(rng.weighted_sample([1, 2], [1, 1], 5)) == 2
+
+    def test_poisson_zero_lambda(self):
+        assert DeterministicRng(1).poisson(0) == 0
+
+    def test_poisson_mean(self):
+        rng = DeterministicRng(4)
+        draws = [rng.poisson(4.0) for _ in range(5000)]
+        mean = sum(draws) / len(draws)
+        assert 3.7 < mean < 4.3
+
+    def test_zipf_rank_bounds(self):
+        rng = DeterministicRng(6)
+        for _ in range(200):
+            assert 1 <= rng.zipf_rank(10, 1.2) <= 10
+
+    def test_zipf_rank_skew(self):
+        rng = DeterministicRng(6)
+        draws = [rng.zipf_rank(10, 1.2) for _ in range(2000)]
+        assert draws.count(1) > draws.count(10)
+
+    def test_zipf_invalid_n(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).zipf_rank(0)
+
+    def test_hex_string_format(self):
+        token = DeterministicRng(1).hex_string(32)
+        assert len(token) == 32
+        assert all(c in "0123456789abcdef" for c in token)
+
+    def test_random_bytes_length(self):
+        assert len(DeterministicRng(1).random_bytes(16)) == 16
