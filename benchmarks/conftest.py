@@ -33,3 +33,14 @@ def study(corpus):
 @pytest.fixture(scope="session")
 def results(study):
     return study.run()
+
+
+def pytest_collection_modifyitems(config, items):
+    """Everything under benchmarks/ carries the opt-in ``bench`` marker.
+
+    Tier-1 (`pytest` from the repo root) only collects ``tests/``; the
+    marker makes the split explicit and filterable (``-m "not bench"``)
+    even when both trees are collected together.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)

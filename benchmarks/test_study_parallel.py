@@ -1,0 +1,128 @@
+"""Serial-vs-parallel study throughput (the engine's raison d'être).
+
+Runs the static and dynamic stages through the execution engine once
+serially and once with ``PARALLEL_WORKERS`` processes, asserts result
+parity, and reports per-stage throughput in apps/second.
+
+On a machine with >= ``PARALLEL_WORKERS`` cores the parallel run must be
+at least 2x faster end-to-end; on smaller machines the speedup assertion
+is skipped (process scheduling cannot beat physics) but parity and the
+throughput report still run.
+
+Set ``REPRO_BENCH_WRITE=1`` to (re)generate ``BENCH_study.json`` in the
+repo root.  ``REPRO_BENCH_PARALLEL_SCALE`` (default 0.05) sizes the
+corpus.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.exec import ExecutionEngine, ExecutionPlan
+from repro.corpus import CorpusConfig, CorpusGenerator
+
+PARALLEL_WORKERS = 4
+PARALLEL_SCALE = float(os.environ.get("REPRO_BENCH_PARALLEL_SCALE", "0.05"))
+
+
+@pytest.fixture(scope="module")
+def quick_corpus():
+    config = CorpusConfig(seed=2022).scaled(PARALLEL_SCALE)
+    return CorpusGenerator(config).generate()
+
+
+def _run_stages(corpus, workers):
+    """Run the static and dynamic stages under one plan; return
+    ``(static_reports, dynamic_results, static_s, dynamic_s)``."""
+    keys = sorted(corpus.datasets)
+    with ExecutionEngine(corpus, ExecutionPlan(workers=workers)) as engine:
+        started = time.perf_counter()
+        static = {
+            key: engine.map_dataset(
+                "static", key, range(len(corpus.dataset(*key)))
+            )
+            for key in keys
+        }
+        static_s = time.perf_counter() - started
+        started = time.perf_counter()
+        dynamic = {
+            key: engine.map_dataset(
+                "dynamic", key, range(len(corpus.dataset(*key))), 0.0
+            )
+            for key in keys
+        }
+        dynamic_s = time.perf_counter() - started
+    return static, dynamic, static_s, dynamic_s
+
+
+def test_parallel_matches_serial_and_speeds_up(quick_corpus):
+    corpus = quick_corpus
+    total_apps = sum(len(apps) for apps in corpus.datasets.values())
+
+    serial_static, serial_dynamic, ser_static_s, ser_dynamic_s = _run_stages(
+        corpus, 1
+    )
+    par_static, par_dynamic, par_static_s, par_dynamic_s = _run_stages(
+        corpus, PARALLEL_WORKERS
+    )
+
+    # Parity first: parallel output must be indistinguishable.
+    for key in serial_static:
+        assert [r.app_id for r in par_static[key]] == [
+            r.app_id for r in serial_static[key]
+        ]
+        assert [r.scan.unique_pins() for r in par_static[key]] == [
+            r.scan.unique_pins() for r in serial_static[key]
+        ]
+    for key in serial_dynamic:
+        assert [r.pinned_destinations for r in par_dynamic[key]] == [
+            r.pinned_destinations for r in serial_dynamic[key]
+        ]
+
+    record = {
+        "scale": PARALLEL_SCALE,
+        "total_apps": total_apps,
+        "workers": PARALLEL_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial": {
+            "static_s": round(ser_static_s, 3),
+            "dynamic_s": round(ser_dynamic_s, 3),
+            "static_apps_per_s": round(total_apps / ser_static_s, 2),
+            "dynamic_apps_per_s": round(total_apps / ser_dynamic_s, 2),
+        },
+        "parallel": {
+            "static_s": round(par_static_s, 3),
+            "dynamic_s": round(par_dynamic_s, 3),
+            "static_apps_per_s": round(total_apps / par_static_s, 2),
+            "dynamic_apps_per_s": round(total_apps / par_dynamic_s, 2),
+        },
+        "speedup": {
+            "static": round(ser_static_s / par_static_s, 2),
+            "dynamic": round(ser_dynamic_s / par_dynamic_s, 2),
+            "overall": round(
+                (ser_static_s + ser_dynamic_s)
+                / (par_static_s + par_dynamic_s),
+                2,
+            ),
+        },
+    }
+    print("\n" + json.dumps(record, indent=2))
+
+    if os.environ.get("REPRO_BENCH_WRITE"):
+        out = Path(__file__).resolve().parent.parent / "BENCH_study.json"
+        out.write_text(json.dumps(record, indent=2) + "\n")
+
+    cores = os.cpu_count() or 1
+    if cores < PARALLEL_WORKERS:
+        pytest.skip(
+            f"speedup assertion needs >= {PARALLEL_WORKERS} cores "
+            f"(have {cores}); parity and throughput recorded above"
+        )
+    overall = record["speedup"]["overall"]
+    assert overall >= 2.0, (
+        f"expected >= 2x speedup at {PARALLEL_WORKERS} workers, "
+        f"got {overall}x"
+    )

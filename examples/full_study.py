@@ -7,7 +7,7 @@ stages, and prints Tables 1–9 and the data behind Figures 2–5.  Takes a
 few minutes; use ``--scale`` to shrink.
 
 Run:
-    python examples/full_study.py [--scale 1.0] [--out results.txt]
+    python examples/full_study.py [--scale 1.0] [--workers 4] [--out results.txt]
 """
 
 import argparse
@@ -15,6 +15,7 @@ import sys
 import time
 
 from repro.core.analysis import Study
+from repro.core.exec import ExecutionPlan
 from repro.core.analysis.certificates import (
     analyze_pin_positions,
     check_validation_subversion,
@@ -32,6 +33,12 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (results identical for any value)",
+    )
     parser.add_argument("--out", type=str, default="")
     args = parser.parse_args()
 
@@ -51,7 +58,7 @@ def main() -> None:
     )
 
     started = time.time()
-    results = Study(corpus).run()
+    results = Study(corpus, plan=ExecutionPlan(workers=args.workers)).run()
     emit(f"study: complete ({time.time() - started:.0f}s)")
     emit()
 

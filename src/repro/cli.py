@@ -19,6 +19,7 @@ import time
 from typing import List, Optional
 
 from repro.core.analysis import Study
+from repro.core.exec import ExecutionPlan
 from repro.corpus import CorpusConfig, CorpusGenerator
 
 TABLE_CHOICES = [
@@ -32,6 +33,24 @@ def _build_corpus(args):
     if args.scale != 1.0:
         config = config.scaled(args.scale)
     return CorpusGenerator(config).generate()
+
+
+def _plan(args) -> ExecutionPlan:
+    return ExecutionPlan(workers=args.workers, chunk_size=args.chunk_size)
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return number
+
+
+def _non_negative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return number
 
 
 def _cmd_corpus(args) -> int:
@@ -48,7 +67,7 @@ def _cmd_corpus(args) -> int:
 def _cmd_study(args) -> int:
     corpus = _build_corpus(args)
     started = time.time()
-    results = Study(corpus).run()
+    results = Study(corpus, plan=_plan(args)).run()
     print(f"# study completed in {time.time() - started:.0f}s", file=sys.stderr)
     for name in TABLE_CHOICES:
         print(getattr(results, name)().render())
@@ -65,7 +84,7 @@ def _cmd_study(args) -> int:
 
 def _cmd_table(args) -> int:
     corpus = _build_corpus(args)
-    results = Study(corpus).run()
+    results = Study(corpus, plan=_plan(args)).run()
     artefact = getattr(results, args.name)()
     if isinstance(artefact, tuple):
         for part in artefact:
@@ -104,6 +123,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=0.1,
         help="corpus scale relative to the paper's (1.0 = 5,150 apps)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes for study execution (results are "
+        "identical for any value; 1 = serial)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=_non_negative_int,
+        default=0,
+        help="apps per work unit (0 = automatic)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -24,6 +24,7 @@ from repro.core.circumvent.pipeline import (
     CircumventionResult,
 )
 from repro.core.dynamic.pipeline import DynamicAppResult, DynamicPipeline
+from repro.core.exec import ExecutionEngine, ExecutionPlan
 from repro.core.pii.compare import PIIComparison
 from repro.core.static.pipeline import StaticPipeline
 from repro.core.static.report import StaticAppReport
@@ -40,26 +41,51 @@ class StudyResults:
     dynamic_results: Dict[DatasetKey, List[DynamicAppResult]]
     circumvention: Dict[str, List[CircumventionResult]]
     pii: Dict[str, PIIComparison]
+    #: Memoized derived views.  Every table method funnels through a small
+    #: set of expensive aggregations (prevalence cells, pair
+    #: classifications, per-app indexes); rendering all tables repeatedly
+    #: must compute each aggregation once.  The inputs above are never
+    #: mutated after construction, so the memos cannot go stale.
+    _cache: Dict[object, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _memo(self, key, compute):
+        if key not in self._cache:
+            self._cache[key] = compute()
+        return self._cache[key]
 
     # -- lookup helpers -------------------------------------------------------
 
     def dynamic_by_app(self, platform: str) -> Dict[str, DynamicAppResult]:
-        out: Dict[str, DynamicAppResult] = {}
-        for (plat, _), results in sorted(self.dynamic_results.items()):
-            if plat != platform:
-                continue
-            for result in results:
-                out.setdefault(result.app_id, result)
-        return out
+        """Per-app dynamic results for one platform (cached; treat the
+        returned dict as read-only — callers share one instance)."""
+
+        def compute() -> Dict[str, DynamicAppResult]:
+            out: Dict[str, DynamicAppResult] = {}
+            for (plat, _), results in sorted(self.dynamic_results.items()):
+                if plat != platform:
+                    continue
+                for result in results:
+                    out.setdefault(result.app_id, result)
+            return out
+
+        return self._memo(("dynamic_by_app", platform), compute)
 
     def static_by_app(self, platform: str) -> Dict[str, StaticAppReport]:
-        out: Dict[str, StaticAppReport] = {}
-        for (plat, _), reports in sorted(self.static_reports.items()):
-            if plat != platform:
-                continue
-            for report in reports:
-                out.setdefault(report.app_id, report)
-        return out
+        """Per-app static reports for one platform (cached; treat the
+        returned dict as read-only — callers share one instance)."""
+
+        def compute() -> Dict[str, StaticAppReport]:
+            out: Dict[str, StaticAppReport] = {}
+            for (plat, _), reports in sorted(self.static_reports.items()):
+                if plat != platform:
+                    continue
+                for report in reports:
+                    out.setdefault(report.app_id, report)
+            return out
+
+        return self._memo(("static_by_app", platform), compute)
 
     def all_dynamic(self, platform: str) -> List[DynamicAppResult]:
         return list(self.dynamic_by_app(platform).values())
@@ -67,34 +93,44 @@ class StudyResults:
     def pair_classifications(
         self,
     ) -> List[Tuple[str, consistency_mod.ConsistencyClassification]]:
-        """Classify every Common pair (Section 5.1)."""
-        android_results = {
-            r.app_id: r for r in self.dynamic_results[("android", "common")]
-        }
-        ios_results = {
-            r.app_id: r for r in self.dynamic_results[("ios", "common")]
-        }
-        named = []
-        for android_pkg, ios_pkg in self.corpus.common_pairs():
-            a = android_results.get(android_pkg.app.app_id)
-            i = ios_results.get(ios_pkg.app.app_id)
-            if a is None or i is None:
-                continue
-            obs = consistency_mod.PairObservation.from_results(a, i)
-            named.append(
-                (android_pkg.app.name, consistency_mod.classify_pair(obs))
-            )
-        return named
+        """Classify every Common pair (Section 5.1); computed once."""
+
+        def compute():
+            android_results = {
+                r.app_id: r for r in self.dynamic_results[("android", "common")]
+            }
+            ios_results = {
+                r.app_id: r for r in self.dynamic_results[("ios", "common")]
+            }
+            named = []
+            for android_pkg, ios_pkg in self.corpus.common_pairs():
+                a = android_results.get(android_pkg.app.app_id)
+                i = ios_results.get(ios_pkg.app.app_id)
+                if a is None or i is None:
+                    continue
+                obs = consistency_mod.PairObservation.from_results(a, i)
+                named.append(
+                    (android_pkg.app.name, consistency_mod.classify_pair(obs))
+                )
+            return named
+
+        return self._memo("pair_classifications", compute)
 
     # -- tables -----------------------------------------------------------------
 
     def _prevalence_cells(self):
-        cells = {}
-        for key in self.static_reports:
-            cells[key] = prevalence_mod.dataset_prevalence(
-                self.static_reports[key], self.dynamic_results[key]
-            )
-        return cells
+        """Per-dataset prevalence aggregation (cached: tables 2 and 3 both
+        consume it, and each render must not recompute it)."""
+
+        def compute():
+            cells = {}
+            for key in self.static_reports:
+                cells[key] = prevalence_mod.dataset_prevalence(
+                    self.static_reports[key], self.dynamic_results[key]
+                )
+            return cells
+
+        return self._memo("prevalence_cells", compute)
 
     def table1(self) -> Table:
         return categories_mod.dataset_category_table(self.corpus)
@@ -204,72 +240,132 @@ class StudyResults:
 
 
 class Study:
-    """Run the full paper measurement over one corpus."""
+    """Run the full paper measurement over one corpus.
 
-    def __init__(self, corpus: AppCorpus, sleep_s: float = 30.0):
+    Args:
+        corpus: the generated app corpus.
+        sleep_s: dynamic-run capture window.
+        plan: how to shard per-app work across worker processes; the
+            default plan runs serially.  Results are identical for every
+            plan (see :mod:`repro.core.exec`).
+    """
+
+    def __init__(
+        self,
+        corpus: AppCorpus,
+        sleep_s: float = 30.0,
+        plan: Optional[ExecutionPlan] = None,
+    ):
         self.corpus = corpus
+        self.plan = plan or ExecutionPlan()
         self.dynamic_pipeline = DynamicPipeline(corpus, sleep_s=sleep_s)
         self.static_pipeline = StaticPipeline(corpus.registry.ctlog)
         self.circumvention_pipeline = CircumventionPipeline(self.dynamic_pipeline)
+        self.engine = ExecutionEngine(
+            corpus,
+            self.plan,
+            sleep_s=sleep_s,
+            pipelines=(
+                self.static_pipeline,
+                self.dynamic_pipeline,
+                self.circumvention_pipeline,
+            ),
+        )
 
-    def _run_common_with_rerun(
+    def _rerun_ids(
         self,
-    ) -> Tuple[List[DynamicAppResult], List[DynamicAppResult]]:
-        """Initial Common passes plus the Section 4.5 iOS re-run.
+        android: List[DynamicAppResult],
+        ios: List[DynamicAppResult],
+    ) -> set:
+        """Common-iOS apps to re-measure with the 120 s wait (Section 4.5).
 
-        The paper re-ran the 72 Common apps that pinned *on either
-        platform*, with a two-minute install-to-launch wait, and used
-        those results for the iOS Common numbers.
+        The paper re-ran the Common apps that pinned *on either platform*,
+        with a two-minute install-to-launch wait, and used those results
+        for the iOS Common numbers.
         """
-        android = self.dynamic_pipeline.run_dataset("android", "common")
-        ios = self.dynamic_pipeline.run_dataset("ios", "common")
-
         android_by_id = {r.app_id: r for r in android}
         ios_by_id = {r.app_id: r for r in ios}
-        ios_packaged = {
-            p.app.app_id: p for p in self.corpus.dataset("ios", "common")
-        }
-
         rerun_ids = set()
         for android_pkg, ios_pkg in self.corpus.common_pairs():
             a = android_by_id.get(android_pkg.app.app_id)
             i = ios_by_id.get(ios_pkg.app.app_id)
             if (a is not None and a.pins()) or (i is not None and i.pins()):
                 rerun_ids.add(ios_pkg.app.app_id)
-
-        for index, result in enumerate(ios):
-            if result.app_id in rerun_ids:
-                ios[index] = self.dynamic_pipeline.run_app(
-                    ios_packaged[result.app_id], pre_launch_wait_s=120.0
-                )
-        return android, ios
+        return rerun_ids
 
     def run(self) -> StudyResults:
-        """Execute every pipeline stage; deterministic for a given corpus."""
+        """Execute every pipeline stage; deterministic for a given corpus
+        and identical for every execution plan."""
+        try:
+            return self._run()
+        finally:
+            self.engine.close()
+
+    def _run(self) -> StudyResults:
         corpus = self.corpus
+        engine = self.engine
+
+        # Phase 1: every static scan and every initial dynamic pass is
+        # independent per app — shard them all into one batch.
+        units: List = []
+        owners: List[Tuple[str, DatasetKey]] = []
+        for key in sorted(corpus.datasets):
+            indices = range(len(corpus.dataset(*key)))
+            for kind in ("static", "dynamic"):
+                for unit in engine.units_for(kind, key, indices, 0.0):
+                    units.append(unit)
+                    owners.append((kind, key))
+        merged: Dict[Tuple[str, DatasetKey], list] = {}
+        for owner, unit_result in zip(owners, engine.execute(units)):
+            merged.setdefault(owner, []).extend(unit_result)
 
         static_reports: Dict[DatasetKey, List[StaticAppReport]] = {}
-        for key, apps in sorted(corpus.datasets.items()):
-            static_reports[key] = self.static_pipeline.analyze_dataset(apps)
-
         dynamic_results: Dict[DatasetKey, List[DynamicAppResult]] = {}
-        common_android, common_ios = self._run_common_with_rerun()
-        dynamic_results[("android", "common")] = common_android
-        dynamic_results[("ios", "common")] = common_ios
-        for dataset in ("popular", "random"):
-            for platform in ("android", "ios"):
-                dynamic_results[(platform, dataset)] = (
-                    self.dynamic_pipeline.run_dataset(platform, dataset)
-                )
+        for key in sorted(corpus.datasets):
+            static_reports[key] = merged[("static", key)]
+            dynamic_results[key] = merged[("dynamic", key)]
 
+        # Phase 2: the Common-iOS re-run, for apps the initial passes
+        # found pinning on either platform.
+        rerun_ids = self._rerun_ids(
+            dynamic_results[("android", "common")],
+            dynamic_results[("ios", "common")],
+        )
+        ios_common = dynamic_results[("ios", "common")]
+        rerun_indices = [
+            index
+            for index, packaged in enumerate(corpus.dataset("ios", "common"))
+            if packaged.app.app_id in rerun_ids
+        ]
+        reruns = engine.map_dataset(
+            "dynamic", ("ios", "common"), rerun_indices, 120.0
+        )
+        for index, result in zip(rerun_indices, reruns):
+            ios_common[index] = result
+
+        # Phase 3: circumvention sweeps over every app found pinning.
+        # Workers receive only the pinned destination sets, not the full
+        # dynamic results.
         circumvention: Dict[str, List[CircumventionResult]] = {
             "android": [],
             "ios": [],
         }
         for (platform, dataset), results in sorted(dynamic_results.items()):
-            packaged = corpus.dataset(platform, dataset)
+            results_by_id = {r.app_id: r for r in results}
+            indices: List[int] = []
+            pinned_sets: List[Tuple[str, ...]] = []
+            for index, packaged in enumerate(corpus.dataset(platform, dataset)):
+                result = results_by_id.get(packaged.app.app_id)
+                if result is None or not result.pins():
+                    continue
+                indices.append(index)
+                pinned_sets.append(tuple(sorted(result.pinned_destinations)))
             circumvention[platform].extend(
-                self.circumvention_pipeline.circumvent_dataset(packaged, results)
+                circ
+                for circ in engine.map_dataset(
+                    "circumvent", (platform, dataset), indices, pinned_sets
+                )
+                if circ is not None
             )
 
         pii: Dict[str, PIIComparison] = {}

@@ -68,7 +68,17 @@ class CircumventionPipeline:
         Returns None for apps with no pinned destinations (nothing to
         circumvent).
         """
-        pinned = result.pinned_destinations
+        return self.circumvent_app_pins(packaged, result.pinned_destinations)
+
+    def circumvent_app_pins(
+        self, packaged, pinned: Set[str]
+    ) -> Optional[CircumventionResult]:
+        """Like :meth:`circumvent_app`, from a bare pinned-destination set.
+
+        The parallel engine hands workers just the pinned sets instead of
+        full dynamic results (captures and verdicts would dominate the
+        pickling cost for no benefit).
+        """
         if not pinned:
             return None
         app = packaged.app

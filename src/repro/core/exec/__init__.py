@@ -1,0 +1,11 @@
+"""Parallel study execution: deterministic per-app sharding.
+
+Public API: :class:`~repro.core.exec.plan.ExecutionPlan` configures worker
+count and chunking; :class:`~repro.core.exec.engine.ExecutionEngine` runs
+study work units under a plan with results identical to a serial run.
+"""
+
+from repro.core.exec.engine import ExecutionEngine
+from repro.core.exec.plan import ExecutionPlan
+
+__all__ = ["ExecutionEngine", "ExecutionPlan"]

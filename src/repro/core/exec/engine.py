@@ -1,0 +1,219 @@
+"""The parallel study execution engine.
+
+Shards per-app work units — static scans, two-setting dynamic runs,
+circumvention sweeps — across a :class:`~concurrent.futures.ProcessPoolExecutor`
+while keeping study results bit-for-bit identical to a serial run.
+
+Determinism contract
+--------------------
+
+Every work unit is a pure function of ``(corpus, sleep_s, unit)``:
+
+* each worker rebuilds its pipelines from the pickled corpus, whose
+  construction is fully deterministic given the corpus seed;
+* per-app randomness derives from the study seed and the app id alone
+  (harness run streams, install-time anchors, proxy forgeries), never
+  from how many apps ran before on the same worker;
+* unit results are merged back in submission order, so scheduling and
+  completion order cannot leak into the output.
+
+The serial path (``plan.workers == 1``) executes the very same unit
+functions in the parent process, against lazily built (or caller
+provided) local pipelines — one code path, two schedulers.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exec.plan import ExecutionPlan
+
+#: A work unit: ``(kind, platform, dataset, indices, extra)``.  ``indices``
+#: are positions inside ``corpus.dataset(platform, dataset)``.  ``extra``
+#: is the pre-launch wait for dynamic units and the per-index pinned
+#: destination tuples for circumvention units.
+WorkUnit = Tuple[str, str, str, Tuple[int, ...], object]
+
+
+def _build_state(corpus, sleep_s: float) -> dict:
+    """Process-local execution state; pipelines are built on first use."""
+    return {
+        "corpus": corpus,
+        "sleep_s": sleep_s,
+        "static": None,
+        "dynamic": None,
+        "circumvent": None,
+    }
+
+
+def _static_pipeline(state: dict):
+    if state["static"] is None:
+        from repro.core.static.pipeline import StaticPipeline
+
+        state["static"] = StaticPipeline(state["corpus"].registry.ctlog)
+    return state["static"]
+
+
+def _dynamic_pipeline(state: dict):
+    if state["dynamic"] is None:
+        from repro.core.dynamic.pipeline import DynamicPipeline
+
+        state["dynamic"] = DynamicPipeline(
+            state["corpus"], sleep_s=state["sleep_s"]
+        )
+    return state["dynamic"]
+
+
+def _circumvention_pipeline(state: dict):
+    if state["circumvent"] is None:
+        from repro.core.circumvent.pipeline import CircumventionPipeline
+
+        state["circumvent"] = CircumventionPipeline(_dynamic_pipeline(state))
+    return state["circumvent"]
+
+
+def _run_unit(state: dict, unit: WorkUnit) -> list:
+    """Execute one unit against process-local state."""
+    kind, platform, dataset, indices, extra = unit
+    apps = state["corpus"].dataset(platform, dataset)
+    if kind == "static":
+        pipeline = _static_pipeline(state)
+        return [pipeline.analyze_app(apps[i]) for i in indices]
+    if kind == "dynamic":
+        pipeline = _dynamic_pipeline(state)
+        return [
+            pipeline.run_app(apps[i], pre_launch_wait_s=extra) for i in indices
+        ]
+    if kind == "circumvent":
+        pipeline = _circumvention_pipeline(state)
+        return [
+            pipeline.circumvent_app_pins(apps[i], set(pins))
+            for i, pins in zip(indices, extra)
+        ]
+    raise ValueError(f"unknown work-unit kind: {kind!r}")
+
+
+# -- worker-process entry points ---------------------------------------------
+
+_WORKER_STATE: Optional[dict] = None
+
+
+def _init_worker(corpus, sleep_s: float) -> None:
+    """Pool initializer: receives the corpus once per worker process."""
+    global _WORKER_STATE
+    _WORKER_STATE = _build_state(corpus, sleep_s)
+
+
+def _run_unit_in_worker(unit: WorkUnit) -> list:
+    assert _WORKER_STATE is not None, "worker used before initialization"
+    return _run_unit(_WORKER_STATE, unit)
+
+
+class ExecutionEngine:
+    """Schedules study work units under an :class:`ExecutionPlan`.
+
+    Args:
+        corpus: the app corpus (pickled to each worker once).
+        plan: sharding configuration; defaults to serial.
+        sleep_s: dynamic-run capture window, forwarded to worker pipelines.
+        pipelines: optional ``(static, dynamic, circumvention)`` triple to
+            reuse as the parent-process pipelines for serial execution
+            (so a :class:`~repro.core.analysis.study.Study` and its engine
+            share devices and identifiers).
+    """
+
+    def __init__(
+        self,
+        corpus,
+        plan: Optional[ExecutionPlan] = None,
+        sleep_s: float = 30.0,
+        pipelines: Optional[tuple] = None,
+    ):
+        self.corpus = corpus
+        self.plan = plan or ExecutionPlan()
+        self.sleep_s = sleep_s
+        self._state = _build_state(corpus, sleep_s)
+        if pipelines is not None:
+            static, dynamic, circumvent = pipelines
+            self._state["static"] = static
+            self._state["dynamic"] = dynamic
+            self._state["circumvent"] = circumvent
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial plans)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.plan.workers,
+                initializer=_init_worker,
+                initargs=(self.corpus, self.sleep_s),
+            )
+        return self._pool
+
+    # -- sharding ----------------------------------------------------------
+
+    def units_for(
+        self,
+        kind: str,
+        key: Tuple[str, str],
+        indices: Sequence[int],
+        extra: object = None,
+    ) -> List[WorkUnit]:
+        """Shard ``indices`` of one dataset into work units.
+
+        For ``circumvent`` units ``extra`` must be a sequence aligned with
+        ``indices`` (the pinned destinations of each app); it is sliced
+        along with them.  For ``dynamic`` units it is the scalar
+        pre-launch wait, replicated into every unit.
+        """
+        indices = list(indices)
+        chunk = self.plan.chunk_for(len(indices))
+        units: List[WorkUnit] = []
+        for start in range(0, len(indices), chunk):
+            block = tuple(indices[start : start + chunk])
+            if kind == "circumvent":
+                unit_extra: object = tuple(extra[start : start + chunk])
+            elif kind == "dynamic":
+                unit_extra = float(extra or 0.0)
+            else:
+                unit_extra = None
+            units.append((kind, key[0], key[1], block, unit_extra))
+        return units
+
+    def execute(self, units: Sequence[WorkUnit]) -> List[list]:
+        """Run units, returning per-unit results in submission order.
+
+        The serial plan runs them in-process; otherwise units are
+        submitted to the pool and collected by future, so the merge order
+        is the submission order regardless of completion order.
+        """
+        if self.plan.serial:
+            return [_run_unit(self._state, unit) for unit in units]
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_unit_in_worker, unit) for unit in units]
+        return [future.result() for future in futures]
+
+    def map_dataset(
+        self,
+        kind: str,
+        key: Tuple[str, str],
+        indices: Sequence[int],
+        extra: object = None,
+    ) -> list:
+        """Shard, execute and concatenate one dataset's units."""
+        results = self.execute(self.units_for(kind, key, indices, extra))
+        return [item for unit_result in results for item in unit_result]

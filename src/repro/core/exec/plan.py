@@ -1,0 +1,52 @@
+"""Execution plans: how a study run is sharded across workers.
+
+An :class:`ExecutionPlan` is pure configuration — worker count and chunk
+size — with no influence on *what* is computed.  The engine guarantees
+bit-for-bit identical study results for every plan; the plan only decides
+how the per-app work units are distributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Sharding configuration for one study run.
+
+    Attributes:
+        workers: worker processes; ``1`` (the default) runs everything
+            serially in the parent process, through the same code path the
+            workers use.
+        chunk_size: apps per work unit.  ``0`` picks a size automatically
+            (~4 chunks per worker, to smooth out stragglers without
+            drowning in per-unit overhead).
+    """
+
+    workers: int = 1
+    chunk_size: int = 0
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size < 0:
+            raise ValueError(f"chunk_size must be >= 0, got {self.chunk_size}")
+
+    @property
+    def serial(self) -> bool:
+        """True when the plan runs in-process without a worker pool."""
+        return self.workers <= 1
+
+    def chunk_for(self, n_items: int) -> int:
+        """Apps per unit when sharding ``n_items`` apps under this plan."""
+        if self.chunk_size:
+            return self.chunk_size
+        if self.serial:
+            return max(1, n_items)
+        return max(1, -(-n_items // (self.workers * 4)))
+
+    @classmethod
+    def for_workers(cls, workers: int) -> "ExecutionPlan":
+        """Plan with auto chunking for a given worker count."""
+        return cls(workers=workers)

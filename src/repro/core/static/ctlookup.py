@@ -42,7 +42,10 @@ class CTResolution:
 def resolve_pins(pins: List[PinFinding], ctlog: CTLog) -> CTResolution:
     """Resolve each unique pin against the CT index."""
     resolution = CTResolution()
-    for pin in {f.pin for f in pins}:
+    # Sorted so the resolved-dict insertion order is stable across
+    # processes (set iteration order varies under hash randomization,
+    # and the parallel engine compares results across workers).
+    for pin in sorted({f.pin for f in pins}):
         hits = ctlog.search_pin(pin)
         if hits:
             resolution.resolved[pin] = hits

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional, Set, Tuple
 
 from repro.appmodel.filetree import FileNode, FileTree
@@ -80,23 +81,25 @@ class ScanResult:
         return {f.path for f in self.certificates} | {f.path for f in self.pins}
 
 
-def _parse_certificate_file(node: FileNode) -> List[ParsedCertificate]:
-    """Recover certificates from an extension-matched file.
+@lru_cache(maxsize=4096)
+def _parse_certificate_content(content: str) -> Tuple[ParsedCertificate, ...]:
+    """Recover certificates from extension-matched file content.
 
     PEM-armoured content parses directly; otherwise the content is tried
     as base64 DER (the ``.der``/``.cer`` convention).  Unparseable content
     yields nothing — apps ship all kinds of junk under these extensions.
+    Cached on the content string: bundled certificate assets repeat across
+    apps (shared SDKs) and across the repeated scans of a study.
     """
-    content = node.content
     if "-----BEGIN CERTIFICATE-----" in content:
         try:
-            return load_pem_certificates(content)
+            return tuple(load_pem_certificates(content))
         except EncodingError:
-            return []
+            return ()
     try:
         decoded = b64decode("".join(content.split()))
     except EncodingError:
-        return []
+        return ()
     # Some ``.cer`` files are base64-wrapped PEM text; others are bare DER.
     try:
         text = decoded.decode("utf-8")
@@ -104,13 +107,17 @@ def _parse_certificate_file(node: FileNode) -> List[ParsedCertificate]:
         text = ""
     if "-----BEGIN CERTIFICATE-----" in text:
         try:
-            return load_pem_certificates(text)
+            return tuple(load_pem_certificates(text))
         except EncodingError:
-            return []
+            return ()
     try:
-        return [parse_der(decoded)]
+        return (parse_der(decoded),)
     except CertificateError:
-        return []
+        return ()
+
+
+def _parse_certificate_file(node: FileNode) -> List[ParsedCertificate]:
+    return list(_parse_certificate_content(node.content))
 
 
 def scan_tree(tree: FileTree, include_native: bool = True) -> ScanResult:

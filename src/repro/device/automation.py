@@ -26,8 +26,16 @@ from repro.netsim.simulate import simulate_flow
 from repro.servers.registry import EndpointRegistry
 from repro.tls.handshake import ClientProfile
 from repro.tls.policy import CompositePolicy, SystemValidationPolicy
-from repro.util.rng import DeterministicRng
-from repro.util.simtime import SimClock, Timestamp
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.simtime import SECONDS_PER_DAY, SimClock, Timestamp
+
+#: Length of the simulated measurement campaign.  Every app is assigned a
+#: deterministic install time inside this window (derived from the harness
+#: seed and the app id), so timestamps do not depend on the order in which
+#: apps are processed.  The window must stay well inside the shortest leaf
+#: validity (not_before up to 250 days before the study epoch, 398-day
+#: lifetime ⇒ expiry at epoch + 148 days at the earliest).
+STUDY_WINDOW_DAYS = 60
 
 
 @dataclass
@@ -72,8 +80,24 @@ class AutomationHarness:
         self.proxy = proxy
         self._rng = rng
         self.clock = clock or SimClock()
+        # Anchor of the per-app timeline; install times are deterministic
+        # offsets from here (see :meth:`_install_time`).
+        self._epoch = self.clock.now
 
     # -- internals -----------------------------------------------------------
+
+    def _install_time(self, app_id: str) -> Timestamp:
+        """Deterministic install time for one app.
+
+        Derived from the harness seed and the app id alone, so a given app
+        sees the same timeline whether it runs first or last, serially or
+        on any worker of the parallel execution engine.  Both experiment
+        settings (baseline and MITM) share the anchor, as the paper ran
+        them back-to-back.
+        """
+        window_s = STUDY_WINDOW_DAYS * SECONDS_PER_DAY
+        offset_s = derive_seed(self._rng.seed, "install-window", app_id) % window_s
+        return self._epoch.plus_seconds(offset_s)
 
     def _substituted_payloads(self, usage: DestinationUsage) -> list:
         """Payload templates with device PII substituted in."""
@@ -245,13 +269,12 @@ class AutomationHarness:
 
         capture = TrafficCapture()
         rng = self._rng.child("run", app.app_id, config.mitm, config.sleep_s)
-        install_time = self.clock.now
+        install_time = self._install_time(app.app_id)
 
         if self.device.platform == "ios":
             self._emit_ios_background(capture, packaged_app, config, install_time, rng)
 
-        self.clock.advance(config.pre_launch_wait_s)
-        launch_time = self.clock.now
+        launch_time = install_time.plus_seconds(config.pre_launch_wait_s)
         policy = config.policy_override or app.runtime_policy(
             self.device.system_store
         )
@@ -262,9 +285,6 @@ class AutomationHarness:
             self._emit_usage_flows(
                 capture, packaged_app, usage, policy, config, launch_time, rng
             )
-
-        # Sleep window, then uninstall before the next app.
-        self.clock.advance(config.sleep_s + 5.0)
         return capture
 
     def handshake_count(self, packaged_app, sleep_s: float) -> int:

@@ -42,6 +42,14 @@ class MITMProxy:
 
         mitmproxy copies the upstream leaf's names onto a fresh key signed
         by its CA; the forgery is cached per hostname.
+
+        The forged certificate is a pure function of the proxy seed and the
+        hostname (key material and serial derive from a per-hostname child
+        stream, not the CA's issuance counter), so two proxy instances with
+        the same seed forge identical chains regardless of how many other
+        hostnames each has intercepted.  The parallel execution engine
+        depends on this: every worker process owns its own proxy, and the
+        forgeries must still match bit-for-bit across any work schedule.
         """
         hostname = endpoint.hostname
         cached = self._forged.get(hostname)
@@ -54,6 +62,8 @@ class MITMProxy:
             san=san,
             not_before=STUDY_START.plus_days(-1),
             lifetime_days=365,
+            rng=self._rng.child("forge", hostname),
+            serial=self.authority.stateless_serial("forge", hostname),
         )
         chain = CertificateChain.of(leaf, self.authority.certificate)
         self._forged[hostname] = chain

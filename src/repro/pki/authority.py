@@ -8,6 +8,8 @@ root stores) and also mints *custom* PKIs for apps that pin their own roots
 
 from __future__ import annotations
 
+import dataclasses
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -57,6 +59,20 @@ class CertificateAuthority:
         self._serial += 1
         return f"{self._serial:08d}-{self._rng.hex_string(8)}"
 
+    def stateless_serial(self, *labels: object) -> str:
+        """A serial derived from labels instead of the issuance counter.
+
+        Issuing with a stateless serial (and a caller-supplied RNG) makes
+        the certificate a pure function of the CA plus the labels —
+        independent of how many certificates were issued before it.  The
+        parallel execution engine relies on this for on-demand issuance
+        (proxy forgeries) that must not depend on worker scheduling.
+        """
+        from repro.util.rng import derive_seed
+
+        seed = derive_seed(self._rng.seed, "stateless-serial", *labels)
+        return f"{seed & 0xFFFFFFFF:08x}-{DeterministicRng(seed).hex_string(8)}"
+
     @classmethod
     def self_signed_root(
         cls,
@@ -83,8 +99,8 @@ class CertificateAuthority:
             signature=b"",
             issuer_key_id=key.key_id,
         )
-        signed = Certificate(
-            **{**unsigned.__dict__, "signature": key.sign(unsigned.tbs_bytes())}
+        signed = dataclasses.replace(
+            unsigned, signature=key.sign(unsigned.tbs_bytes())
         )
         return cls(signed, key, rng.child("root-ca", common_name))
 
@@ -98,6 +114,8 @@ class CertificateAuthority:
         lifetime_days: float = 398.0,
         key: Optional[KeyPair] = None,
         organization: str = "",
+        rng: Optional[DeterministicRng] = None,
+        serial: Optional[str] = None,
     ) -> Tuple[Certificate, KeyPair]:
         """Issue a certificate signed by this authority.
 
@@ -113,6 +131,10 @@ class CertificateAuthority:
                 key models certificate renewal with key reuse, which is what
                 makes SPKI pins survive renewals (Section 5.3.3).
             organization: subject O attribute.
+            rng: key-generation randomness.  Defaults to this CA's own
+                stream; passing an explicit child stream (plus ``serial``)
+                makes the issued certificate independent of issuance order.
+            serial: serial override; see :meth:`stateless_serial`.
 
         Returns:
             ``(certificate, subject_key)``.
@@ -122,13 +144,14 @@ class CertificateAuthority:
             raise CertificateError(
                 "child certificate cannot start before its issuer"
             )
-        subject_key = key or KeyPair.generate(self._rng.child("issued-key", common_name))
+        key_rng = rng if rng is not None else self._rng
+        subject_key = key or KeyPair.generate(key_rng.child("issued-key", common_name))
         unsigned = Certificate(
             subject=DistinguishedName(
                 common_name=common_name, organization=organization
             ),
             issuer=self.name,
-            serial=self._next_serial(),
+            serial=serial if serial is not None else self._next_serial(),
             not_before=start,
             not_after=start.plus_days(lifetime_days),
             key=subject_key,
@@ -137,8 +160,8 @@ class CertificateAuthority:
             signature=b"",
             issuer_key_id=self.key.key_id,
         )
-        signed = Certificate(
-            **{**unsigned.__dict__, "signature": self.key.sign(unsigned.tbs_bytes())}
+        signed = dataclasses.replace(
+            unsigned, signature=self.key.sign(unsigned.tbs_bytes())
         )
         return signed, subject_key
 

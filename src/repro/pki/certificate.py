@@ -34,13 +34,17 @@ class DistinguishedName:
     country: str = ""
 
     def render(self) -> str:
-        """RFC-4514-ish single-line rendering."""
-        parts = [f"CN={self.common_name}"]
-        if self.organization:
-            parts.append(f"O={self.organization}")
-        if self.country:
-            parts.append(f"C={self.country}")
-        return ", ".join(parts)
+        """RFC-4514-ish single-line rendering (memoized per instance)."""
+        cached = self.__dict__.get("_rendered")
+        if cached is None:
+            parts = [f"CN={self.common_name}"]
+            if self.organization:
+                parts.append(f"O={self.organization}")
+            if self.country:
+                parts.append(f"C={self.country}")
+            cached = ", ".join(parts)
+            object.__setattr__(self, "_rendered", cached)
+        return cached
 
     def __str__(self) -> str:  # pragma: no cover - display only
         return self.render()
@@ -96,30 +100,47 @@ class Certificate:
         )
 
     def tbs_bytes(self) -> bytes:
-        """The canonical to-be-signed encoding."""
-        fields = [
-            self.subject.render(),
-            self.issuer.render(),
-            self.serial,
-            str(self.not_before.unix),
-            str(self.not_after.unix),
-            ",".join(self.san),
-            "CA" if self.is_ca else "EE",
-            self.key.public_bytes.hex(),
-        ]
-        return "\x1e".join(fields).encode("utf-8")
+        """The canonical to-be-signed encoding (memoized per instance).
+
+        The encoding is recomputed for every signature verification during
+        chain validation — a profiled hot path of the full study — and the
+        certificate is frozen, so computing it once is safe.
+        """
+        cached = self.__dict__.get("_tbs")
+        if cached is None:
+            fields = [
+                self.subject.render(),
+                self.issuer.render(),
+                self.serial,
+                str(self.not_before.unix),
+                str(self.not_after.unix),
+                ",".join(self.san),
+                "CA" if self.is_ca else "EE",
+                self.key.public_bytes.hex(),
+            ]
+            cached = "\x1e".join(fields).encode("utf-8")
+            object.__setattr__(self, "_tbs", cached)
+        return cached
 
     def to_der(self) -> bytes:
         """Canonical full encoding (tbs + signature), the DER stand-in."""
-        return self.tbs_bytes() + b"\x1f" + self.signature
+        cached = self.__dict__.get("_der")
+        if cached is None:
+            cached = self.tbs_bytes() + b"\x1f" + self.signature
+            object.__setattr__(self, "_der", cached)
+        return cached
 
     def to_pem(self) -> str:
         """PEM-armoured encoding, greppable by the static analyzer."""
         return pem_wrap(self.to_der(), label="CERTIFICATE")
 
     def fingerprint_sha256(self) -> str:
-        """Hex SHA-256 fingerprint of the full encoding."""
-        return hashlib.sha256(self.to_der()).hexdigest()
+        """Hex SHA-256 fingerprint of the full encoding (memoized)."""
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = hashlib.sha256(self.to_der()).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def spki_pin(self, algorithm: str = "sha256") -> str:
         """HPKP-style pin string for this certificate's public key."""

@@ -22,6 +22,10 @@ class RootStore:
     def __init__(self, name: str, roots: Iterable[Certificate] = ()):
         self.name = name
         self._by_subject: Dict[str, Certificate] = {}
+        #: Bumped on every mutation; validation results cached against a
+        #: store are keyed on ``(store, generation)`` so they expire when
+        #: the trust set changes (e.g. a device store gaining a proxy CA).
+        self.generation = 0
         for root in roots:
             self.add(root)
 
@@ -30,9 +34,11 @@ class RootStore:
         if not root.is_ca:
             raise ValueError(f"{root.common_name!r} is not a CA certificate")
         self._by_subject[root.subject.render()] = root
+        self.generation += 1
 
     def remove(self, root: Certificate) -> None:
         self._by_subject.pop(root.subject.render(), None)
+        self.generation += 1
 
     def trusts(self, cert: Certificate) -> bool:
         """Is this exact certificate a trust anchor here?"""

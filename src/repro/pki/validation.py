@@ -68,6 +68,12 @@ class ValidationContext:
     check_validity: bool = True
 
 
+#: Failure reasons that depend on the validation time and therefore must
+#: never be served from the cache (a chain expired *now* may have been
+#: fine an hour ago, and vice versa).
+_TIME_DEPENDENT_REASONS = frozenset({"expired", "not_yet_valid", "revoked"})
+
+
 def validate_chain(chain: CertificateChain, ctx: ValidationContext) -> Certificate:
     """Validate a served chain; return the trust anchor used.
 
@@ -77,12 +83,60 @@ def validate_chain(chain: CertificateChain, ctx: ValidationContext) -> Certifica
     (either the terminal certificate is itself trusted, or its issuer is
     found in the store and verifies it).
 
+    Results are memoized on the chain object.  The same chain is validated
+    many times during a study (every connection to a destination re-serves
+    the same chain), and everything except the validity-window checks is
+    independent of ``at_time``, so a cached outcome can be replayed for any
+    time inside the chain's joint validity window.  Time-dependent failures
+    are never cached, and nothing is cached when a revocation list is in
+    play (its contents may change between calls).
+
     Raises:
         ChainValidationError: with a machine-readable ``reason`` on the
             first failed check (``bad_link``, ``expired``, ``not_yet_valid``,
             ``not_ca``, ``bad_signature``, ``revoked``,
             ``hostname_mismatch``, ``untrusted_root``).
     """
+    if ctx.revocation is not None:
+        return _validate_chain_checks(chain, ctx)
+
+    cache = chain.__dict__.get("_validation_cache")
+    if cache is None:
+        cache = {}
+        object.__setattr__(chain, "_validation_cache", cache)
+    # The store participates in the key by identity (default object
+    # hash/eq), which also keeps it alive so the id cannot be recycled.
+    key = (
+        ctx.store,
+        ctx.store.generation,
+        ctx.hostname,
+        ctx.check_hostname,
+        ctx.check_validity,
+    )
+    hit = cache.get(key)
+    if hit is not None:
+        anchor, message, reason, window_lo, window_hi = hit
+        if not ctx.check_validity or window_lo <= ctx.at_time.unix <= window_hi:
+            if reason is None:
+                return anchor
+            raise ChainValidationError(message, reason=reason)
+
+    window_lo = max(cert.not_before.unix for cert in chain)
+    window_hi = min(cert.not_after.unix for cert in chain)
+    try:
+        anchor = _validate_chain_checks(chain, ctx)
+    except ChainValidationError as exc:
+        if exc.reason not in _TIME_DEPENDENT_REASONS:
+            cache[key] = (None, str(exc), exc.reason, window_lo, window_hi)
+        raise
+    cache[key] = (anchor, None, None, window_lo, window_hi)
+    return anchor
+
+
+def _validate_chain_checks(
+    chain: CertificateChain, ctx: ValidationContext
+) -> Certificate:
+    """The actual checks behind :func:`validate_chain`, uncached."""
     if not chain.links_consistent():
         raise ChainValidationError(
             "issuer/subject names do not link", reason="bad_link"

@@ -10,10 +10,21 @@ platform share a client stack and therefore a fingerprint.
 from __future__ import annotations
 
 import hashlib
-from typing import Sequence
+from functools import lru_cache
+from typing import Sequence, Tuple
 
 from repro.tls.ciphers import CipherSuite
 from repro.tls.records import TLSVersion
+
+
+@lru_cache(maxsize=None)
+def _ja3_cached(
+    versions: Tuple[TLSVersion, ...], suites: Tuple[CipherSuite, ...]
+) -> str:
+    material = ",".join(v.value for v in versions) + "|" + ",".join(
+        s.name for s in suites
+    )
+    return hashlib.md5(material.encode("ascii")).hexdigest()
 
 
 def ja3_fingerprint(
@@ -22,9 +33,7 @@ def ja3_fingerprint(
     """Deterministic digest of the ClientHello-visible parameters.
 
     Same offered versions + suites (in order) ⇒ same fingerprint, as with
-    real JA3.
+    real JA3.  The distinct (stack, configuration) population is tiny, so
+    results are memoized process-wide.
     """
-    material = ",".join(v.value for v in versions) + "|" + ",".join(
-        s.name for s in suites
-    )
-    return hashlib.md5(material.encode("ascii")).hexdigest()
+    return _ja3_cached(tuple(versions), tuple(suites))

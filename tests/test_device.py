@@ -215,10 +215,26 @@ class TestAutomationHarness:
         assert pinned_flows
         assert all(f.handshake_completed for f in pinned_flows)
 
-    def test_clock_advances(self, small_corpus, harnesses):
+    def test_per_app_timeline_is_order_independent(self, small_corpus, harnesses):
+        # Flow timestamps derive from the app id, not from how many apps
+        # ran before — the determinism contract of the parallel engine.
         android, _ = harnesses
-        before = android.clock.now
-        android.run_app(
-            small_corpus.dataset("android", "popular")[0], RunConfig()
+        apps = small_corpus.dataset("android", "popular")[:2]
+        first = android.run_app(apps[0], RunConfig())
+        android.run_app(apps[1], RunConfig())  # unrelated run in between
+        again = android.run_app(apps[0], RunConfig())
+        assert [f.started_at for f in first] == [f.started_at for f in again]
+
+    def test_install_times_spread_across_study_window(self, small_corpus, harnesses):
+        from repro.device.automation import STUDY_WINDOW_DAYS
+
+        android, _ = harnesses
+        anchors = {
+            android._install_time(p.app.app_id).unix
+            for p in small_corpus.dataset("android", "popular")
+        }
+        assert len(anchors) > 1  # apps do not all share one timestamp
+        window_s = STUDY_WINDOW_DAYS * 86_400
+        assert all(
+            0 <= unix - android._epoch.unix < window_s for unix in anchors
         )
-        assert android.clock.now > before
