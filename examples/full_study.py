@@ -7,7 +7,12 @@ stages, and prints Tables 1–9 and the data behind Figures 2–5.  Takes a
 few minutes; use ``--scale`` to shrink.
 
 Run:
-    python examples/full_study.py [--scale 1.0] [--workers 4] [--out results.txt]
+    python examples/full_study.py [--scale 1.0] [--workers 4] \
+        [--resume study.ckpt] [--max-retries 2] [--out results.txt]
+
+An interrupted run resumes from ``--resume``'s journal; per-app failures
+never abort the study — they are retried, quarantined, and reported in
+the "error ledger" section of the output.
 """
 
 import argparse
@@ -15,7 +20,7 @@ import sys
 import time
 
 from repro.core.analysis import Study
-from repro.core.exec import ExecutionPlan
+from repro.core.exec import ExecutionPlan, SeededFaults
 from repro.core.analysis.certificates import (
     analyze_pin_positions,
     check_validation_subversion,
@@ -39,6 +44,27 @@ def main() -> None:
         default=1,
         help="worker processes (results identical for any value)",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="retries per failed work unit before quarantine + ledger",
+    )
+    parser.add_argument(
+        "--resume",
+        type=str,
+        default="",
+        help="checkpoint journal path; completed units are recorded and "
+        "replayed across runs with the same seed/scale",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="fault-injection testing hook: deterministically fail this "
+        "fraction of per-app work",
+    )
+    parser.add_argument("--fault-seed", type=int, default=0)
     parser.add_argument("--out", type=str, default="")
     args = parser.parse_args()
 
@@ -58,8 +84,24 @@ def main() -> None:
     )
 
     started = time.time()
-    results = Study(corpus, plan=ExecutionPlan(workers=args.workers)).run()
+    faults = (
+        SeededFaults(args.fault_rate, seed=args.fault_seed)
+        if args.fault_rate > 0
+        else None
+    )
+    plan = ExecutionPlan(workers=args.workers, max_retries=args.max_retries)
+    results = Study(corpus, plan=plan, fault_predicate=faults).run(
+        resume=args.resume or None
+    )
     emit(f"study: complete ({time.time() - started:.0f}s)")
+    emit()
+
+    # The error ledger: a fault-free run prints "0 unit failure(s)" and
+    # nothing else; a degraded run lists every abandoned app so the
+    # partial results below are interpretable.
+    emit(f"error ledger: {len(results.failures)} unit failure(s)")
+    for line in results.error_ledger():
+        emit(f"  {line}")
     emit()
 
     for table in (

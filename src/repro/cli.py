@@ -19,7 +19,7 @@ import time
 from typing import List, Optional
 
 from repro.core.analysis import Study
-from repro.core.exec import ExecutionPlan
+from repro.core.exec import ExecutionPlan, SeededFaults
 from repro.corpus import CorpusConfig, CorpusGenerator
 
 TABLE_CHOICES = [
@@ -36,7 +36,28 @@ def _build_corpus(args):
 
 
 def _plan(args) -> ExecutionPlan:
-    return ExecutionPlan(workers=args.workers, chunk_size=args.chunk_size)
+    return ExecutionPlan(
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        max_retries=args.max_retries,
+    )
+
+
+def _faults(args):
+    """The deterministic fault-injection predicate, if requested."""
+    if args.fault_rate > 0:
+        return SeededFaults(args.fault_rate, seed=args.fault_seed)
+    return None
+
+
+def _report_ledger(results) -> None:
+    """Print the error ledger to stderr (commentary, like the timing)."""
+    print(
+        f"# error ledger: {len(results.failures)} failed unit(s)",
+        file=sys.stderr,
+    )
+    for line in results.error_ledger():
+        print(f"#   {line}", file=sys.stderr)
 
 
 def _positive_int(value: str) -> int:
@@ -50,6 +71,13 @@ def _non_negative_int(value: str) -> int:
     number = int(value)
     if number < 0:
         raise argparse.ArgumentTypeError("must be >= 0")
+    return number
+
+
+def _rate(value: str) -> float:
+    number = float(value)
+    if not 0.0 <= number <= 1.0:
+        raise argparse.ArgumentTypeError("must be in [0, 1]")
     return number
 
 
@@ -67,8 +95,11 @@ def _cmd_corpus(args) -> int:
 def _cmd_study(args) -> int:
     corpus = _build_corpus(args)
     started = time.time()
-    results = Study(corpus, plan=_plan(args)).run()
+    results = Study(
+        corpus, plan=_plan(args), fault_predicate=_faults(args)
+    ).run(resume=args.resume)
     print(f"# study completed in {time.time() - started:.0f}s", file=sys.stderr)
+    _report_ledger(results)
     for name in TABLE_CHOICES:
         print(getattr(results, name)().render())
         print()
@@ -85,6 +116,8 @@ def _cmd_study(args) -> int:
 def _cmd_table(args) -> int:
     corpus = _build_corpus(args)
     results = Study(corpus, plan=_plan(args)).run()
+    if results.failures:
+        _report_ledger(results)
     artefact = getattr(results, args.name)()
     if isinstance(artefact, tuple):
         for part in artefact:
@@ -137,10 +170,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0,
         help="apps per work unit (0 = automatic)",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=_non_negative_int,
+        default=1,
+        help="retries per failed work unit before it is quarantined and "
+        "recorded in the error ledger",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=_rate,
+        default=0.0,
+        help="fault-injection testing hook: deterministically fail this "
+        "fraction of per-app work (0 = disabled)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for --fault-rate (decides which apps fail)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("corpus", help="generate a corpus and print composition")
-    sub.add_parser("study", help="run everything, print all tables")
+    study = sub.add_parser("study", help="run everything, print all tables")
+    study.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help="checkpoint journal: completed work units are recorded here "
+        "and replayed on a later run with the same seed/scale",
+    )
     table = sub.add_parser("table", help="print one table/figure")
     table.add_argument("name", choices=TABLE_CHOICES + ["figure4"])
     table.add_argument("--csv", action="store_true")

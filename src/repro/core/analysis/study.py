@@ -24,7 +24,12 @@ from repro.core.circumvent.pipeline import (
     CircumventionResult,
 )
 from repro.core.dynamic.pipeline import DynamicAppResult, DynamicPipeline
-from repro.core.exec import ExecutionEngine, ExecutionPlan
+from repro.core.exec import (
+    ExecutionEngine,
+    ExecutionPlan,
+    StudyCheckpoint,
+    UnitFailure,
+)
 from repro.core.pii.compare import PIIComparison
 from repro.core.static.pipeline import StaticPipeline
 from repro.core.static.report import StaticAppReport
@@ -41,6 +46,11 @@ class StudyResults:
     dynamic_results: Dict[DatasetKey, List[DynamicAppResult]]
     circumvention: Dict[str, List[CircumventionResult]]
     pii: Dict[str, PIIComparison]
+    #: The error ledger: apps the engine abandoned after retry and
+    #: quarantine.  Empty for a trouble-free run; a non-empty ledger means
+    #: every other field holds *partial* results that exclude exactly
+    #: these apps.
+    failures: List[UnitFailure] = field(default_factory=list)
     #: Memoized derived views.  Every table method funnels through a small
     #: set of expensive aggregations (prevalence cells, pair
     #: classifications, per-app indexes); rendering all tables repeatedly
@@ -89,6 +99,10 @@ class StudyResults:
 
     def all_dynamic(self, platform: str) -> List[DynamicAppResult]:
         return list(self.dynamic_by_app(platform).values())
+
+    def error_ledger(self) -> List[str]:
+        """Human-readable ledger lines, one per abandoned app."""
+        return [failure.describe() for failure in self.failures]
 
     def pair_classifications(
         self,
@@ -245,9 +259,12 @@ class Study:
     Args:
         corpus: the generated app corpus.
         sleep_s: dynamic-run capture window.
-        plan: how to shard per-app work across worker processes; the
+        plan: how to shard per-app work across worker processes, and how
+            hard to fight per-app failures (retries, quarantine); the
             default plan runs serially.  Results are identical for every
             plan (see :mod:`repro.core.exec`).
+        fault_predicate: injectable per-app failure hook for
+            fault-tolerance testing (see :mod:`repro.core.exec.faults`).
     """
 
     def __init__(
@@ -255,12 +272,20 @@ class Study:
         corpus: AppCorpus,
         sleep_s: float = 30.0,
         plan: Optional[ExecutionPlan] = None,
+        fault_predicate=None,
     ):
         self.corpus = corpus
         self.plan = plan or ExecutionPlan()
-        self.dynamic_pipeline = DynamicPipeline(corpus, sleep_s=sleep_s)
-        self.static_pipeline = StaticPipeline(corpus.registry.ctlog)
-        self.circumvention_pipeline = CircumventionPipeline(self.dynamic_pipeline)
+        self.sleep_s = sleep_s
+        self.dynamic_pipeline = DynamicPipeline(
+            corpus, sleep_s=sleep_s, fault_predicate=fault_predicate
+        )
+        self.static_pipeline = StaticPipeline(
+            corpus.registry.ctlog, fault_predicate=fault_predicate
+        )
+        self.circumvention_pipeline = CircumventionPipeline(
+            self.dynamic_pipeline, fault_predicate=fault_predicate
+        )
         self.engine = ExecutionEngine(
             corpus,
             self.plan,
@@ -270,6 +295,7 @@ class Study:
                 self.dynamic_pipeline,
                 self.circumvention_pipeline,
             ),
+            fault_predicate=fault_predicate,
         )
 
     def _rerun_ids(
@@ -293,17 +319,39 @@ class Study:
                 rerun_ids.add(ios_pkg.app.app_id)
         return rerun_ids
 
-    def run(self) -> StudyResults:
+    def run(self, resume: Optional[str] = None) -> StudyResults:
         """Execute every pipeline stage; deterministic for a given corpus
-        and identical for every execution plan."""
+        and identical for every execution plan.
+
+        Degrades gracefully: per-app failures are retried, quarantined,
+        and — if they persist — recorded in ``StudyResults.failures``
+        while every other app's results survive.  The surviving results
+        are bit-for-bit what an untroubled run would have produced.
+
+        Args:
+            resume: optional checkpoint-journal path.  Completed work
+                units are journaled there as the run progresses, and
+                units already journaled (by this run's configuration —
+                same seed and capture window) are replayed instead of
+                recomputed, so an interrupted or partially failed run
+                picks up where it left off.
+        """
+        checkpoint: Optional[StudyCheckpoint] = None
+        if resume is not None:
+            checkpoint = StudyCheckpoint(
+                resume, self.corpus.seed, self.sleep_s
+            ).open()
         try:
-            return self._run()
+            return self._run(checkpoint)
         finally:
+            if checkpoint is not None:
+                checkpoint.close()
             self.engine.close()
 
-    def _run(self) -> StudyResults:
+    def _run(self, checkpoint: Optional[StudyCheckpoint] = None) -> StudyResults:
         corpus = self.corpus
         engine = self.engine
+        ledger: List[UnitFailure] = []
 
         # Phase 1: every static scan and every initial dynamic pass is
         # independent per app — shard them all into one batch.
@@ -315,15 +363,17 @@ class Study:
                 for unit in engine.units_for(kind, key, indices, 0.0):
                     units.append(unit)
                     owners.append((kind, key))
+        outcome = engine.execute_resilient(units, checkpoint)
+        ledger.extend(outcome.failures)
         merged: Dict[Tuple[str, DatasetKey], list] = {}
-        for owner, unit_result in zip(owners, engine.execute(units)):
+        for owner, unit_result in zip(owners, outcome.unit_results):
             merged.setdefault(owner, []).extend(unit_result)
 
         static_reports: Dict[DatasetKey, List[StaticAppReport]] = {}
         dynamic_results: Dict[DatasetKey, List[DynamicAppResult]] = {}
         for key in sorted(corpus.datasets):
-            static_reports[key] = merged[("static", key)]
-            dynamic_results[key] = merged[("dynamic", key)]
+            static_reports[key] = merged.get(("static", key), [])
+            dynamic_results[key] = merged.get(("dynamic", key), [])
 
         # Phase 2: the Common-iOS re-run, for apps the initial passes
         # found pinning on either platform.
@@ -337,11 +387,21 @@ class Study:
             for index, packaged in enumerate(corpus.dataset("ios", "common"))
             if packaged.app.app_id in rerun_ids
         ]
-        reruns = engine.map_dataset(
-            "dynamic", ("ios", "common"), rerun_indices, 120.0
+        rerun_outcome = engine.map_dataset_resilient(
+            "dynamic", ("ios", "common"), rerun_indices, 120.0, checkpoint
         )
-        for index, result in zip(rerun_indices, reruns):
-            ios_common[index] = result
+        ledger.extend(rerun_outcome.failures)
+        # Replace by app id, not position: with partial phase-1 results
+        # the list no longer lines up with dataset indices.  A re-run of
+        # an app whose initial pass failed is appended — the re-run is a
+        # complete measurement, so this recovers the app.
+        position_by_id = {r.app_id: i for i, r in enumerate(ios_common)}
+        for result in rerun_outcome.items:
+            position = position_by_id.get(result.app_id)
+            if position is None:
+                ios_common.append(result)
+            else:
+                ios_common[position] = result
 
         # Phase 3: circumvention sweeps over every app found pinning.
         # Workers receive only the pinned destination sets, not the full
@@ -360,12 +420,12 @@ class Study:
                     continue
                 indices.append(index)
                 pinned_sets.append(tuple(sorted(result.pinned_destinations)))
+            circ_outcome = engine.map_dataset_resilient(
+                "circumvent", (platform, dataset), indices, pinned_sets, checkpoint
+            )
+            ledger.extend(circ_outcome.failures)
             circumvention[platform].extend(
-                circ
-                for circ in engine.map_dataset(
-                    "circumvent", (platform, dataset), indices, pinned_sets
-                )
-                if circ is not None
+                circ for circ in circ_outcome.items if circ is not None
             )
 
         pii: Dict[str, PIIComparison] = {}
@@ -392,4 +452,5 @@ class Study:
             dynamic_results=dynamic_results,
             circumvention=circumvention,
             pii=pii,
+            failures=ledger,
         )

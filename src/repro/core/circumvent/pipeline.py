@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.core.circumvent.frida import FridaSession, InstrumentationOutcome
 from repro.core.dynamic.pipeline import DynamicAppResult, DynamicPipeline
+from repro.core.exec.faults import maybe_inject
 from repro.device.automation import RunConfig
 from repro.netsim.capture import TrafficCapture
 
@@ -47,11 +48,18 @@ class CircumventionResult:
 
 
 class CircumventionPipeline:
-    """Runs hook-and-recapture over dynamic results."""
+    """Runs hook-and-recapture over dynamic results.
 
-    def __init__(self, dynamic: DynamicPipeline):
+    Args:
+        dynamic: the dynamic pipeline whose devices/harnesses to reuse.
+        fault_predicate: injectable per-app failure hook (see
+            :mod:`repro.core.exec.faults`).
+    """
+
+    def __init__(self, dynamic: DynamicPipeline, fault_predicate=None):
         self.dynamic = dynamic
         self.corpus = dynamic.corpus
+        self.fault_predicate = fault_predicate
 
     def _device_for(self, platform: str):
         return (
@@ -82,6 +90,7 @@ class CircumventionPipeline:
         if not pinned:
             return None
         app = packaged.app
+        maybe_inject(self.fault_predicate, "circumvent", app.app_id)
         device = self._device_for(app.platform)
         session = FridaSession(device)
         outcome = session.instrument(app.runtime_policy(device.system_store))

@@ -59,8 +59,16 @@ def connection_used(flow: FlowRecord, tls13_heuristics: bool = True) -> bool:
     return False
 
 
-def connection_failed(flow: FlowRecord) -> bool:
-    """Unused and aborted (RST or FIN) — the paper's failure definition."""
-    if connection_used(flow):
+def connection_failed(flow: FlowRecord, tls13_heuristics: bool = True) -> bool:
+    """Unused and aborted (RST or FIN) — the paper's failure definition.
+
+    Args:
+        flow: the captured connection.
+        tls13_heuristics: forwarded to :func:`connection_used` — the
+            Section 4.2.2 ablation must degrade "used" and "failed"
+            classification together, since "failed" is defined in terms
+            of "used".
+    """
+    if connection_used(flow, tls13_heuristics=tls13_heuristics):
         return False
     return flow.trace.aborted()

@@ -73,6 +73,7 @@ def detect_pinned_destinations(
     direct: TrafficCapture,
     intercepted: TrafficCapture,
     excluded_domains: Iterable[str] = (),
+    tls13_heuristics: bool = True,
 ) -> Dict[str, DestinationVerdict]:
     """Run the differential detector over one app's two captures.
 
@@ -81,6 +82,9 @@ def detect_pinned_destinations(
         intercepted: the MITM capture.
         excluded_domains: registrable domains to drop (Apple background
             domains, the app's associated domains).
+        tls13_heuristics: apply the Section 4.2.2 TLS 1.3 used-connection
+            rules; ``False`` runs the ablation, degrading *both* the
+            used-direct and the all-failed legs of the differential.
 
     Returns:
         destination → verdict, including excluded destinations (marked).
@@ -101,10 +105,14 @@ def detect_pinned_destinations(
 
         direct_flows = direct_by_dest.get(destination, [])
         mitm_flows = mitm_by_dest.get(destination, [])
-        verdict.used_direct = any(connection_used(f) for f in direct_flows)
+        verdict.used_direct = any(
+            connection_used(f, tls13_heuristics=tls13_heuristics)
+            for f in direct_flows
+        )
         verdict.mitm_observed = bool(mitm_flows)
         verdict.mitm_all_failed = bool(mitm_flows) and all(
-            connection_failed(f) for f in mitm_flows
+            connection_failed(f, tls13_heuristics=tls13_heuristics)
+            for f in mitm_flows
         )
         verdict.pinned = verdict.used_direct and verdict.mitm_all_failed
         verdicts[destination] = verdict
@@ -114,11 +122,14 @@ def detect_pinned_destinations(
 def naive_detect_pinned_destinations(
     intercepted: TrafficCapture,
     excluded_domains: Iterable[str] = (),
+    tls13_heuristics: bool = True,
 ) -> Set[str]:
     """Ablation baseline: any MITM failure ⇒ pinned.
 
     No baseline capture, no used-connection requirement — the approach the
-    differential design exists to improve on.
+    differential design exists to improve on.  ``tls13_heuristics`` is
+    threaded into the failure classification so the TLS 1.3 ablation
+    composes with this one.
     """
     destinations = intercepted.destinations()
     excluded = _apply_exclusions(destinations, excluded_domains)
@@ -126,6 +137,9 @@ def naive_detect_pinned_destinations(
     for destination, flows in intercepted.by_destination().items():
         if destination in excluded:
             continue
-        if any(connection_failed(f) for f in flows):
+        if any(
+            connection_failed(f, tls13_heuristics=tls13_heuristics)
+            for f in flows
+        ):
             flagged.add(destination)
     return flagged

@@ -23,6 +23,7 @@ from repro.core.dynamic.detector import (
     DestinationVerdict,
     detect_pinned_destinations,
 )
+from repro.core.exec.faults import maybe_inject
 from repro.corpus.datasets import AppCorpus
 from repro.device.android import AndroidDevice
 from repro.device.automation import AutomationHarness, RunConfig
@@ -70,10 +71,12 @@ class DynamicPipeline:
         corpus: AppCorpus,
         sleep_s: float = 30.0,
         transient_failure_prob: float = 0.015,
+        fault_predicate=None,
     ):
         self.corpus = corpus
         self.sleep_s = sleep_s
         self.transient_failure_prob = transient_failure_prob
+        self.fault_predicate = fault_predicate
         rng = DeterministicRng(corpus.seed).child("dynamic")
         self.proxy = MITMProxy(rng.child("proxy"))
         self.android_device = AndroidDevice(
@@ -134,6 +137,7 @@ class DynamicPipeline:
                 False).
         """
         app = packaged.app
+        maybe_inject(self.fault_predicate, "dynamic", app.app_id)
         harness = self._harnesses[app.platform]
         base = RunConfig(
             mitm=False,

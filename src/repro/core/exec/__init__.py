@@ -1,11 +1,34 @@
-"""Parallel study execution: deterministic per-app sharding.
+"""Parallel, fault-tolerant study execution.
 
 Public API: :class:`~repro.core.exec.plan.ExecutionPlan` configures worker
-count and chunking; :class:`~repro.core.exec.engine.ExecutionEngine` runs
-study work units under a plan with results identical to a serial run.
+count, chunking, and the fault-tolerance envelope (retries, backoff,
+deadline, quarantine); :class:`~repro.core.exec.engine.ExecutionEngine`
+runs study work units under a plan with results identical to a serial
+run, degrading per-app failures into a
+:class:`~repro.core.exec.faults.UnitFailure` ledger;
+:class:`~repro.core.exec.checkpoint.StudyCheckpoint` journals completed
+units to disk so an interrupted run can resume.
+:mod:`repro.core.exec.faults` provides deterministic fault injection for
+testing all of it without real flakiness.
 """
 
-from repro.core.exec.engine import ExecutionEngine
+from repro.core.exec.checkpoint import StudyCheckpoint
+from repro.core.exec.engine import ExecutionEngine, ExecutionOutcome
+from repro.core.exec.faults import (
+    InjectedFault,
+    SeededFaults,
+    TransientFaults,
+    UnitFailure,
+)
 from repro.core.exec.plan import ExecutionPlan
 
-__all__ = ["ExecutionEngine", "ExecutionPlan"]
+__all__ = [
+    "ExecutionEngine",
+    "ExecutionOutcome",
+    "ExecutionPlan",
+    "InjectedFault",
+    "SeededFaults",
+    "StudyCheckpoint",
+    "TransientFaults",
+    "UnitFailure",
+]

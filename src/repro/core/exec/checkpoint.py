@@ -1,0 +1,168 @@
+"""Checkpoint/resume: an on-disk journal of completed work units.
+
+A multi-hour study run must survive being killed.  As the engine finishes
+each work unit it appends ``(key, result)`` to a journal file; a later run
+pointed at the same file skips every journaled unit and recomputes only
+what is missing.  Because unit results are pure functions of
+``(corpus seed, capture window, unit identity)`` — the engine's
+determinism contract — replaying a journaled result is bit-for-bit
+indistinguishable from recomputing it.
+
+Keys are SHA-256 digests over exactly those inputs, so a journal written
+for a different seed, capture window, or chunking simply never hits (a
+seed mismatch is additionally rejected up front via the file header, the
+friendlier failure).  The file is an append-only pickle stream; a
+truncated final record — the process died mid-write — is discarded on
+load rather than poisoning the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+_MAGIC = "repro-study-checkpoint"
+_VERSION = 1
+
+
+def unit_key(seed: int, sleep_s: float, unit) -> str:
+    """Stable journal key for one work unit under one study configuration."""
+    kind, platform, dataset, indices, extra = unit
+    identity = repr(
+        (int(seed), float(sleep_s), kind, platform, dataset, tuple(indices), extra)
+    )
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+
+def split_unit(unit) -> List[tuple]:
+    """Split a unit into per-app solo units (quarantine / solo lookup).
+
+    Circumvention units carry per-index pinned sets in ``extra``; those
+    are sliced along with the indices, like
+    :meth:`~repro.core.exec.engine.ExecutionEngine.units_for` does.
+    """
+    kind, platform, dataset, indices, extra = unit
+    if kind == "circumvent":
+        return [
+            (kind, platform, dataset, (index,), (pins,))
+            for index, pins in zip(indices, extra)
+        ]
+    return [(kind, platform, dataset, (index,), extra) for index in indices]
+
+
+class StudyCheckpoint:
+    """Journal of completed unit results for one study configuration.
+
+    Args:
+        path: journal file (created on first record).
+        seed: the corpus/study seed the journal is bound to.
+        sleep_s: the dynamic capture window (results depend on it).
+    """
+
+    def __init__(self, path: Union[str, Path], seed: int, sleep_s: float):
+        self.path = Path(path)
+        self.seed = int(seed)
+        self.sleep_s = float(sleep_s)
+        self._cache: Dict[str, list] = {}
+        self._fh = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "StudyCheckpoint":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def open(self) -> "StudyCheckpoint":
+        """Load any existing journal and open the file for appending."""
+        if self._fh is not None:
+            return self
+        self._load_existing()
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh = open(self.path, "ab")
+        if fresh:
+            pickle.dump((_MAGIC, _VERSION, self.seed), self._fh)
+            self._fh.flush()
+        return self
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def _load_existing(self) -> None:
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return
+        with open(self.path, "rb") as fh:
+            try:
+                header = pickle.load(fh)
+            except (EOFError, pickle.UnpicklingError):
+                raise ValueError(f"{self.path} is not a study checkpoint")
+            if (
+                not isinstance(header, tuple)
+                or len(header) != 3
+                or header[0] != _MAGIC
+                or header[1] != _VERSION
+            ):
+                raise ValueError(f"{self.path} is not a study checkpoint")
+            if header[2] != self.seed:
+                raise ValueError(
+                    f"checkpoint {self.path} was written for seed "
+                    f"{header[2]}, not {self.seed}"
+                )
+            while True:
+                try:
+                    key, payload = pickle.load(fh)
+                except EOFError:
+                    break
+                except Exception:
+                    # Truncated or corrupt tail record (killed mid-write):
+                    # everything before it is still good.
+                    break
+                self._cache[key] = payload
+
+    # -- journal access ----------------------------------------------------
+
+    @property
+    def completed_units(self) -> int:
+        return len(self._cache)
+
+    def key_for(self, unit) -> str:
+        return unit_key(self.seed, self.sleep_s, unit)
+
+    def lookup(self, unit) -> Optional[list]:
+        """Journaled result for ``unit``, or None.
+
+        A multi-app unit whose own key misses is additionally composed
+        from journaled *solo* results (a previous run may have completed
+        its apps one-by-one in quarantine); composition succeeds only when
+        every app is present, preserving in-unit order.
+        """
+        hit = self._cache.get(self.key_for(unit))
+        if hit is not None:
+            return list(hit)
+        _, _, _, indices, _ = unit
+        if len(indices) <= 1:
+            return None
+        merged: list = []
+        for solo in split_unit(unit):
+            solo_hit = self._cache.get(self.key_for(solo))
+            if solo_hit is None:
+                return None
+            merged.extend(solo_hit)
+        return merged
+
+    def record(self, unit, payload: list) -> None:
+        """Append one completed unit result (idempotent, flushed)."""
+        if self._fh is None:
+            self.open()
+        key = self.key_for(unit)
+        if key in self._cache:
+            return
+        payload = list(payload)
+        self._cache[key] = payload
+        pickle.dump((key, payload), self._fh)
+        self._fh.flush()

@@ -20,13 +20,34 @@ Every work unit is a pure function of ``(corpus, sleep_s, unit)``:
 The serial path (``plan.workers == 1``) executes the very same unit
 functions in the parent process, against lazily built (or caller
 provided) local pipelines — one code path, two schedulers.
+
+Fault tolerance
+---------------
+
+:meth:`ExecutionEngine.execute_resilient` extends the contract to failing
+units: a failed unit is retried up to ``plan.max_retries`` times (with
+bounded exponential backoff and an optional per-unit deadline), then
+**quarantined** — its apps are re-run solo, each with its own retry
+budget, so one poisoned app cannot take a whole chunk's results down.
+Apps that still fail become :class:`~repro.core.exec.faults.UnitFailure`
+records in the returned :class:`ExecutionOutcome` instead of exceptions.
+Because unit purity makes retries and solo re-runs reproduce exactly what
+an untroubled run would have computed, the surviving results remain
+bit-for-bit identical to a fault-free run — the ledger is the only
+difference.  An optional
+:class:`~repro.core.exec.checkpoint.StudyCheckpoint` journals completed
+units so a killed run can resume where it left off.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.exec.checkpoint import StudyCheckpoint, split_unit
+from repro.core.exec.faults import FaultPredicate, UnitFailure
 from repro.core.exec.plan import ExecutionPlan
 
 #: A work unit: ``(kind, platform, dataset, indices, extra)``.  ``indices``
@@ -36,11 +57,33 @@ from repro.core.exec.plan import ExecutionPlan
 WorkUnit = Tuple[str, str, str, Tuple[int, ...], object]
 
 
-def _build_state(corpus, sleep_s: float) -> dict:
+@dataclass
+class ExecutionOutcome:
+    """What a fault-tolerant execution produced.
+
+    Attributes:
+        unit_results: per-unit result lists in submission order; apps that
+            failed permanently are simply absent from their unit's list.
+        failures: the error ledger — one record per abandoned app.
+    """
+
+    unit_results: List[list]
+    failures: List[UnitFailure] = field(default_factory=list)
+
+    @property
+    def items(self) -> list:
+        """All results flattened, preserving submission order."""
+        return [item for unit in self.unit_results for item in unit]
+
+
+def _build_state(
+    corpus, sleep_s: float, fault_predicate: Optional[FaultPredicate] = None
+) -> dict:
     """Process-local execution state; pipelines are built on first use."""
     return {
         "corpus": corpus,
         "sleep_s": sleep_s,
+        "faults": fault_predicate,
         "static": None,
         "dynamic": None,
         "circumvent": None,
@@ -51,7 +94,9 @@ def _static_pipeline(state: dict):
     if state["static"] is None:
         from repro.core.static.pipeline import StaticPipeline
 
-        state["static"] = StaticPipeline(state["corpus"].registry.ctlog)
+        state["static"] = StaticPipeline(
+            state["corpus"].registry.ctlog, fault_predicate=state["faults"]
+        )
     return state["static"]
 
 
@@ -60,7 +105,9 @@ def _dynamic_pipeline(state: dict):
         from repro.core.dynamic.pipeline import DynamicPipeline
 
         state["dynamic"] = DynamicPipeline(
-            state["corpus"], sleep_s=state["sleep_s"]
+            state["corpus"],
+            sleep_s=state["sleep_s"],
+            fault_predicate=state["faults"],
         )
     return state["dynamic"]
 
@@ -69,7 +116,9 @@ def _circumvention_pipeline(state: dict):
     if state["circumvent"] is None:
         from repro.core.circumvent.pipeline import CircumventionPipeline
 
-        state["circumvent"] = CircumventionPipeline(_dynamic_pipeline(state))
+        state["circumvent"] = CircumventionPipeline(
+            _dynamic_pipeline(state), fault_predicate=state["faults"]
+        )
     return state["circumvent"]
 
 
@@ -99,10 +148,12 @@ def _run_unit(state: dict, unit: WorkUnit) -> list:
 _WORKER_STATE: Optional[dict] = None
 
 
-def _init_worker(corpus, sleep_s: float) -> None:
+def _init_worker(
+    corpus, sleep_s: float, fault_predicate: Optional[FaultPredicate]
+) -> None:
     """Pool initializer: receives the corpus once per worker process."""
     global _WORKER_STATE
-    _WORKER_STATE = _build_state(corpus, sleep_s)
+    _WORKER_STATE = _build_state(corpus, sleep_s, fault_predicate)
 
 
 def _run_unit_in_worker(unit: WorkUnit) -> list:
@@ -115,12 +166,16 @@ class ExecutionEngine:
 
     Args:
         corpus: the app corpus (pickled to each worker once).
-        plan: sharding configuration; defaults to serial.
+        plan: sharding + fault-tolerance configuration; defaults to serial.
         sleep_s: dynamic-run capture window, forwarded to worker pipelines.
         pipelines: optional ``(static, dynamic, circumvention)`` triple to
             reuse as the parent-process pipelines for serial execution
             (so a :class:`~repro.core.analysis.study.Study` and its engine
             share devices and identifiers).
+        fault_predicate: injectable per-app failure predicate, shipped to
+            worker pipelines (testing hook; see
+            :mod:`repro.core.exec.faults`).  Caller-provided ``pipelines``
+            are assumed to carry their own predicate already.
     """
 
     def __init__(
@@ -129,11 +184,13 @@ class ExecutionEngine:
         plan: Optional[ExecutionPlan] = None,
         sleep_s: float = 30.0,
         pipelines: Optional[tuple] = None,
+        fault_predicate: Optional[FaultPredicate] = None,
     ):
         self.corpus = corpus
         self.plan = plan or ExecutionPlan()
         self.sleep_s = sleep_s
-        self._state = _build_state(corpus, sleep_s)
+        self.fault_predicate = fault_predicate
+        self._state = _build_state(corpus, sleep_s, fault_predicate)
         if pipelines is not None:
             static, dynamic, circumvent = pipelines
             self._state["static"] = static
@@ -160,7 +217,7 @@ class ExecutionEngine:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.plan.workers,
                 initializer=_init_worker,
-                initargs=(self.corpus, self.sleep_s),
+                initargs=(self.corpus, self.sleep_s, self.fault_predicate),
             )
         return self._pool
 
@@ -194,18 +251,29 @@ class ExecutionEngine:
             units.append((kind, key[0], key[1], block, unit_extra))
         return units
 
-    def execute(self, units: Sequence[WorkUnit]) -> List[list]:
-        """Run units, returning per-unit results in submission order.
+    # -- strict execution --------------------------------------------------
 
-        The serial plan runs them in-process; otherwise units are
-        submitted to the pool and collected by future, so the merge order
-        is the submission order regardless of completion order.
+    def execute(self, units: Sequence[WorkUnit]) -> List[list]:
+        """Run units strictly: any worker exception propagates.
+
+        Returns per-unit results in submission order.  The serial plan
+        runs them in-process; otherwise units are submitted to the pool
+        and collected by future, so the merge order is the submission
+        order regardless of completion order.  On error the pool is shut
+        down before the exception propagates — a failed strict run must
+        not leak worker processes.
         """
         if self.plan.serial:
             return [_run_unit(self._state, unit) for unit in units]
         pool = self._ensure_pool()
         futures = [pool.submit(_run_unit_in_worker, unit) for unit in units]
-        return [future.result() for future in futures]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            self.close()
+            raise
 
     def map_dataset(
         self,
@@ -214,6 +282,174 @@ class ExecutionEngine:
         indices: Sequence[int],
         extra: object = None,
     ) -> list:
-        """Shard, execute and concatenate one dataset's units."""
+        """Shard, execute (strictly) and concatenate one dataset's units."""
         results = self.execute(self.units_for(kind, key, indices, extra))
         return [item for unit_result in results for item in unit_result]
+
+    # -- fault-tolerant execution ------------------------------------------
+
+    def execute_resilient(
+        self,
+        units: Sequence[WorkUnit],
+        checkpoint: Optional[StudyCheckpoint] = None,
+    ) -> ExecutionOutcome:
+        """Run units with retry, quarantine, and an error ledger.
+
+        Journaled units (when ``checkpoint`` is given) are replayed
+        without executing; completed units are journaled as they finish.
+        Never raises for per-unit failures — they land in the outcome's
+        ledger.  Unexpected scheduler-level errors (and interrupts) still
+        propagate, after the pool is shut down.
+        """
+        units = list(units)
+        unit_results: List[Optional[list]] = [None] * len(units)
+        failures: List[UnitFailure] = []
+        pending: List[Tuple[int, WorkUnit]] = []
+        for position, unit in enumerate(units):
+            cached = checkpoint.lookup(unit) if checkpoint is not None else None
+            if cached is not None:
+                unit_results[position] = cached
+            else:
+                pending.append((position, unit))
+
+        try:
+            if self.plan.serial:
+                for position, unit in pending:
+                    unit_results[position] = self._run_with_recovery(
+                        unit, failures, checkpoint
+                    )
+            else:
+                pool = self._ensure_pool()
+                futures = [
+                    (position, unit, pool.submit(_run_unit_in_worker, unit))
+                    for position, unit in pending
+                ]
+                for position, unit, future in futures:
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        unit_results[position] = self._run_with_recovery(
+                            unit, failures, checkpoint, first_error=exc
+                        )
+                    else:
+                        if checkpoint is not None:
+                            checkpoint.record(unit, result)
+                        unit_results[position] = result
+        except BaseException:
+            self.close()
+            raise
+
+        return ExecutionOutcome(
+            [result if result is not None else [] for result in unit_results],
+            failures,
+        )
+
+    def map_dataset_resilient(
+        self,
+        kind: str,
+        key: Tuple[str, str],
+        indices: Sequence[int],
+        extra: object = None,
+        checkpoint: Optional[StudyCheckpoint] = None,
+    ) -> ExecutionOutcome:
+        """Shard and execute one dataset's units fault-tolerantly."""
+        return self.execute_resilient(
+            self.units_for(kind, key, indices, extra), checkpoint
+        )
+
+    # -- recovery internals ------------------------------------------------
+
+    def _attempt(self, unit: WorkUnit) -> list:
+        """One attempt at one unit, on whichever scheduler the plan uses."""
+        if self.plan.serial:
+            return _run_unit(self._state, unit)
+        return self._ensure_pool().submit(_run_unit_in_worker, unit).result()
+
+    def _retry(
+        self, unit: WorkUnit, first_error: Exception
+    ) -> Tuple[Optional[list], int, Optional[Exception]]:
+        """Retry a failed unit within the plan's budget.
+
+        Returns ``(result, attempts, last_error)`` where ``attempts``
+        counts the initial attempt; ``result`` is None when every retry
+        failed or the deadline expired.
+        """
+        plan = self.plan
+        attempts = 1
+        error: Optional[Exception] = first_error
+        deadline = (
+            time.monotonic() + plan.retry_deadline_s
+            if plan.retry_deadline_s > 0
+            else None
+        )
+        while attempts - 1 < plan.max_retries:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            backoff = plan.backoff_for(attempts - 1)
+            if backoff > 0:
+                time.sleep(backoff)
+            attempts += 1
+            try:
+                return self._attempt(unit), attempts, None
+            except Exception as exc:
+                error = exc
+        return None, attempts, error
+
+    def _run_with_recovery(
+        self,
+        unit: WorkUnit,
+        failures: List[UnitFailure],
+        checkpoint: Optional[StudyCheckpoint],
+        first_error: Optional[Exception] = None,
+        in_quarantine: bool = False,
+    ) -> list:
+        """Run one unit to a result or a ledger entry, never an exception.
+
+        The escalation ladder: attempt, retry up to ``plan.max_retries``
+        times, then (for multi-app units) quarantine — re-run each app as
+        its own solo unit through this same ladder, so only the genuinely
+        bad apps are lost.  Survivors are journaled; casualties become
+        :class:`UnitFailure` records.
+        """
+        if first_error is None:
+            try:
+                result = self._attempt(unit)
+            except Exception as exc:
+                first_error = exc
+            else:
+                if checkpoint is not None:
+                    checkpoint.record(unit, result)
+                return result
+
+        result, attempts, error = self._retry(unit, first_error)
+        if result is not None:
+            if checkpoint is not None:
+                checkpoint.record(unit, result)
+            return result
+
+        kind, platform, dataset, indices, _ = unit
+        if len(indices) > 1 and self.plan.quarantine:
+            merged: list = []
+            for solo in split_unit(unit):
+                merged.extend(
+                    self._run_with_recovery(
+                        solo, failures, checkpoint, in_quarantine=True
+                    )
+                )
+            return merged
+
+        apps = self.corpus.dataset(platform, dataset)
+        for index in indices:
+            failures.append(
+                UnitFailure(
+                    app_id=apps[index].app.app_id,
+                    phase=kind,
+                    platform=platform,
+                    dataset=dataset,
+                    index=index,
+                    attempts=attempts,
+                    error=repr(error),
+                    quarantined=in_quarantine,
+                )
+            )
+        return []

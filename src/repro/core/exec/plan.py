@@ -1,19 +1,24 @@
-"""Execution plans: how a study run is sharded across workers.
+"""Execution plans: how a study run is sharded and how it fails.
 
-An :class:`ExecutionPlan` is pure configuration — worker count and chunk
-size — with no influence on *what* is computed.  The engine guarantees
-bit-for-bit identical study results for every plan; the plan only decides
-how the per-app work units are distributed.
+An :class:`ExecutionPlan` is pure configuration — worker count, chunk
+size, and the fault-tolerance envelope (retries, backoff, deadline,
+quarantine) — with no influence on *what* is computed.  The engine
+guarantees bit-for-bit identical study results for every plan; the plan
+only decides how the per-app work units are distributed and how hard the
+engine fights before recording a failure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Upper bound on any single backoff sleep, however many retries doubled it.
+RETRY_BACKOFF_CAP_S = 30.0
+
 
 @dataclass(frozen=True)
 class ExecutionPlan:
-    """Sharding configuration for one study run.
+    """Sharding and fault-tolerance configuration for one study run.
 
     Attributes:
         workers: worker processes; ``1`` (the default) runs everything
@@ -22,16 +27,44 @@ class ExecutionPlan:
         chunk_size: apps per work unit.  ``0`` picks a size automatically
             (~4 chunks per worker, to smooth out stragglers without
             drowning in per-unit overhead).
+        max_retries: additional attempts for a failed work unit (and for
+            each quarantined solo re-run) before it is recorded in the
+            error ledger.
+        retry_backoff_s: wait before the first retry; doubles per retry,
+            bounded by :data:`RETRY_BACKOFF_CAP_S`.  ``0`` retries
+            immediately.
+        retry_deadline_s: wall-clock budget for one unit's retry loop;
+            once exceeded, no further retries are attempted.  ``0`` means
+            no deadline.
+        quarantine: when a multi-app unit exhausts its retries, re-run its
+            apps solo so one crashing app cannot take its chunk-mates'
+            results down with it.
     """
 
     workers: int = 1
     chunk_size: int = 0
+    max_retries: int = 1
+    retry_backoff_s: float = 0.0
+    retry_deadline_s: float = 0.0
+    quarantine: bool = True
 
     def __post_init__(self):
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.chunk_size < 0:
             raise ValueError(f"chunk_size must be >= 0, got {self.chunk_size}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.retry_deadline_s < 0:
+            raise ValueError(
+                f"retry_deadline_s must be >= 0, got {self.retry_deadline_s}"
+            )
 
     @property
     def serial(self) -> bool:
@@ -45,6 +78,12 @@ class ExecutionPlan:
         if self.serial:
             return max(1, n_items)
         return max(1, -(-n_items // (self.workers * 4)))
+
+    def backoff_for(self, retry_index: int) -> float:
+        """Seconds to sleep before retry ``retry_index`` (0-based)."""
+        if self.retry_backoff_s <= 0:
+            return 0.0
+        return min(self.retry_backoff_s * (2.0 ** retry_index), RETRY_BACKOFF_CAP_S)
 
     @classmethod
     def for_workers(cls, workers: int) -> "ExecutionPlan":

@@ -19,6 +19,7 @@ from repro.core.static.decompile import decompile_android, decrypt_ios
 from repro.core.static.nsc_analysis import NSCAnalysis, analyze_nsc
 from repro.core.static.report import StaticAppReport
 from repro.core.static.search import scan_tree
+from repro.core.exec.faults import maybe_inject
 from repro.errors import AnalysisError
 from repro.pki.ctlog import CTLog
 
@@ -30,6 +31,9 @@ class StaticPipeline:
         ctlog: the CT index for hash resolution.
         jailbroken_device_available: gates iOS decryption.
         include_native: run the native-strings pass (ablation knob).
+        fault_predicate: injectable per-app failure hook (see
+            :mod:`repro.core.exec.faults`); fires before any work on an
+            app so no partial state is left behind.
     """
 
     def __init__(
@@ -37,14 +41,17 @@ class StaticPipeline:
         ctlog: CTLog,
         jailbroken_device_available: bool = True,
         include_native: bool = True,
+        fault_predicate=None,
     ):
         self.ctlog = ctlog
         self.jailbroken_device_available = jailbroken_device_available
         self.include_native = include_native
+        self.fault_predicate = fault_predicate
 
     def analyze_app(self, packaged) -> StaticAppReport:
         """Analyze one packaged app (Android or iOS)."""
         app = packaged.app
+        maybe_inject(self.fault_predicate, "static", app.app_id)
         tool = ""
         if isinstance(packaged, AndroidApp):
             tree = decompile_android(packaged)

@@ -129,12 +129,15 @@ def scan_tree(tree: FileTree, include_native: bool = True) -> ScanResult:
             binary files (ablations turn this off).
     """
     result = ScanResult()
-    seen_cert_fingerprints: Set[Tuple[str, str]] = set()
+    # Dedup on (path, subject, serial) as a tuple — concatenating subject
+    # and serial would make ("A", "BC") collide with ("AB", "C") and drop
+    # a distinct certificate.
+    seen_cert_fingerprints: Set[Tuple[str, str, str]] = set()
 
     # Channel 1: certificate file extensions.
     for node in tree.with_extensions(CERT_EXTENSIONS):
         for cert in _parse_certificate_file(node):
-            key = (node.path, cert.subject + cert.serial)
+            key = (node.path, cert.subject, cert.serial)
             if key not in seen_cert_fingerprints:
                 seen_cert_fingerprints.add(key)
                 result.certificates.append(
@@ -147,7 +150,7 @@ def scan_tree(tree: FileTree, include_native: bool = True) -> ScanResult:
             continue  # already covered by channel 1
         try:
             for cert in load_pem_certificates(node.content):
-                key = (node.path, cert.subject + cert.serial)
+                key = (node.path, cert.subject, cert.serial)
                 if key not in seen_cert_fingerprints:
                     seen_cert_fingerprints.add(key)
                     result.certificates.append(
@@ -179,7 +182,7 @@ def scan_tree(tree: FileTree, include_native: bool = True) -> ScanResult:
             if PEM_DELIMITER_PATTERN.search(node.content):
                 try:
                     for cert in load_pem_certificates(node.content):
-                        key = (node.path, cert.subject + cert.serial)
+                        key = (node.path, cert.subject, cert.serial)
                         if key not in seen_cert_fingerprints:
                             seen_cert_fingerprints.add(key)
                             result.certificates.append(

@@ -66,14 +66,10 @@ def chi_square_independence(
     if len(table) != 2 or any(len(row) != 2 for row in table):
         raise ValueError("chi_square_independence expects a 2x2 table")
 
-    try:
-        from scipy.stats import chi2_contingency
-
-        stat, p_value, dof, _ = chi2_contingency(table, correction=correction)
-        return ChiSquareResult(float(stat), float(p_value), int(dof))
-    except ImportError:  # pragma: no cover - exercised only without scipy
-        pass
-
+    # Validate margins before dispatching: a zero margin must raise the
+    # same ValueError whether scipy handles the table or the fallback
+    # does (scipy's own zero-margin error has a different message, and
+    # callers match on this one).
     a, b = table[0]
     c, d = table[1]
     row_totals = (a + b, c + d)
@@ -81,6 +77,14 @@ def chi_square_independence(
     grand = a + b + c + d
     if grand <= 0 or 0 in row_totals or 0 in col_totals:
         raise ValueError("contingency table has a zero margin")
+
+    try:
+        from scipy.stats import chi2_contingency
+
+        stat, p_value, dof, _ = chi2_contingency(table, correction=correction)
+        return ChiSquareResult(float(stat), float(p_value), int(dof))
+    except ImportError:  # pragma: no cover - exercised only without scipy
+        pass
 
     stat = 0.0
     observed = ((a, b), (c, d))

@@ -120,3 +120,60 @@ class TestFailed:
         flow = make_flow(None, [], TEARDOWN_RST)
         assert not connection_used(flow)
         assert connection_failed(flow)
+
+
+class TestAblationThreading:
+    """The Section 4.2.2 ablation must degrade "used" and "failed"
+    classification together: a TLS 1.3 pinning rejection (Finished +
+    alert-sized record, then RST) is *failed* under the heuristics but
+    reads as *used* — hence not failed — without them."""
+
+    def rejection_flow(self):
+        return make_flow(
+            TLSVersion.TLS13,
+            [TLS13_CLIENT_FINISHED_LEN, TLS13_ENCRYPTED_ALERT_LEN],
+            TEARDOWN_RST,
+        )
+
+    def test_heuristics_classify_rejection_as_failed(self):
+        assert connection_failed(self.rejection_flow())
+
+    def test_ablation_flag_reaches_failed_classification(self):
+        flow = self.rejection_flow()
+        # The naive TLS 1.2 reading sees application data ⇒ used ⇒ the
+        # connection cannot be failed.  Before the fix connection_failed
+        # ignored the flag and silently kept the heuristics on.
+        assert connection_used(flow, tls13_heuristics=False)
+        assert not connection_failed(flow, tls13_heuristics=False)
+
+    def test_detector_threads_ablation_through_failed_leg(self):
+        from repro.core.dynamic.detector import detect_pinned_destinations
+        from repro.netsim.capture import TrafficCapture
+
+        direct = TrafficCapture(
+            [make_flow(TLSVersion.TLS13, [TLS13_CLIENT_FINISHED_LEN, 400, 700], TEARDOWN_OPEN)]
+        )
+        intercepted = TrafficCapture([self.rejection_flow()])
+        with_heuristics = detect_pinned_destinations(direct, intercepted)
+        assert with_heuristics["x.com"].pinned
+
+        ablated = detect_pinned_destinations(
+            direct, intercepted, tls13_heuristics=False
+        )
+        # Both legs degrade: the MITM rejection now looks "used", so the
+        # destination no longer classifies as all-failed ⇒ not pinned.
+        assert not ablated["x.com"].mitm_all_failed
+        assert not ablated["x.com"].pinned
+
+    def test_naive_detector_threads_ablation(self):
+        from repro.core.dynamic.detector import naive_detect_pinned_destinations
+        from repro.netsim.capture import TrafficCapture
+
+        intercepted = TrafficCapture([self.rejection_flow()])
+        assert naive_detect_pinned_destinations(intercepted) == {"x.com"}
+        assert (
+            naive_detect_pinned_destinations(
+                intercepted, tls13_heuristics=False
+            )
+            == set()
+        )

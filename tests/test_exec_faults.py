@@ -1,0 +1,342 @@
+"""Tests for the engine's fault-tolerance layer.
+
+Covers the escalation ladder (retry → quarantine → error ledger), the
+checkpoint journal (resume replays journaled units bit-for-bit), pool
+hygiene on strict-path errors, and graceful degradation of a full
+``Study.run()`` under injected faults.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import pytest
+
+from repro.core.analysis import Study
+from repro.core.exec import (
+    ExecutionEngine,
+    ExecutionPlan,
+    InjectedFault,
+    SeededFaults,
+    StudyCheckpoint,
+    TransientFaults,
+)
+from repro.core.exec.checkpoint import split_unit
+from repro.corpus import CorpusConfig, CorpusGenerator
+
+
+@dataclass(frozen=True)
+class FailApps:
+    """Picklable predicate failing exactly the given (phase, app_id) pairs."""
+
+    app_ids: Tuple[str, ...]
+    phases: Tuple[str, ...] = ("static", "dynamic", "circumvent")
+
+    def __call__(self, phase: str, app_id: str) -> bool:
+        return phase in self.phases and app_id in self.app_ids
+
+
+class CountingFaults:
+    """Counts every consultation; fails the apps of an inner predicate."""
+
+    def __init__(self, inner=None):
+        self.inner = inner
+        self.calls = {}
+
+    def __call__(self, phase: str, app_id: str) -> bool:
+        key = (phase, app_id)
+        self.calls[key] = self.calls.get(key, 0) + 1
+        return self.inner is not None and self.inner(phase, app_id)
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return CorpusGenerator(CorpusConfig(seed=1337).scaled(0.015)).generate()
+
+
+def _app_ids(corpus, key):
+    return [p.app.app_id for p in corpus.dataset(*key)]
+
+
+KEY = ("android", "common")
+
+
+class TestQuarantine:
+    def test_quarantine_isolates_the_failing_app(self, tiny_corpus):
+        ids = _app_ids(tiny_corpus, KEY)
+        bad = ids[1]
+        engine = ExecutionEngine(
+            tiny_corpus,
+            ExecutionPlan(max_retries=1, chunk_size=len(ids)),
+            fault_predicate=FailApps((bad,), phases=("static",)),
+        )
+        units = engine.units_for("static", KEY, range(len(ids)))
+        assert len(units) == 1  # one chunk holds every app
+        outcome = engine.execute_resilient(units)
+
+        surviving = [r.app_id for r in outcome.items]
+        assert bad not in surviving
+        assert surviving == [i for i in ids if i != bad]
+        assert len(outcome.failures) == 1
+        failure = outcome.failures[0]
+        assert failure.app_id == bad
+        assert failure.phase == "static"
+        assert failure.quarantined
+        assert "InjectedFault" in failure.error
+
+    def test_quarantine_disabled_drops_whole_unit(self, tiny_corpus):
+        ids = _app_ids(tiny_corpus, KEY)
+        bad = ids[1]
+        engine = ExecutionEngine(
+            tiny_corpus,
+            ExecutionPlan(max_retries=0, chunk_size=len(ids), quarantine=False),
+            fault_predicate=FailApps((bad,), phases=("static",)),
+        )
+        outcome = engine.execute_resilient(
+            engine.units_for("static", KEY, range(len(ids)))
+        )
+        assert outcome.items == []
+        assert sorted(f.app_id for f in outcome.failures) == sorted(ids)
+        assert not any(f.quarantined for f in outcome.failures)
+
+    def test_quarantined_survivors_match_fault_free_run(self, tiny_corpus):
+        ids = _app_ids(tiny_corpus, KEY)
+        bad = ids[0]
+        clean = ExecutionEngine(tiny_corpus, ExecutionPlan())
+        reference = {
+            r.app_id: r.pinned_destinations
+            for r in clean.map_dataset("dynamic", KEY, range(len(ids)), 0.0)
+        }
+        engine = ExecutionEngine(
+            tiny_corpus,
+            ExecutionPlan(chunk_size=len(ids)),
+            fault_predicate=FailApps((bad,), phases=("dynamic",)),
+        )
+        outcome = engine.map_dataset_resilient(
+            "dynamic", KEY, range(len(ids)), 0.0
+        )
+        for result in outcome.items:
+            assert result.pinned_destinations == reference[result.app_id]
+
+
+class TestRetries:
+    def test_retries_attempted_exactly_max_retries_times(self, tiny_corpus):
+        ids = _app_ids(tiny_corpus, KEY)
+        bad = ids[0]
+        faults = CountingFaults(FailApps((bad,), phases=("static",)))
+        engine = ExecutionEngine(
+            tiny_corpus,
+            ExecutionPlan(max_retries=2, chunk_size=1),
+            fault_predicate=faults,
+        )
+        outcome = engine.execute_resilient(
+            engine.units_for("static", KEY, range(len(ids)))
+        )
+        # Initial attempt + exactly plan.max_retries retries.
+        assert faults.calls[("static", bad)] == 3
+        assert outcome.failures[0].attempts == 3
+        # Healthy apps are consulted once — no gratuitous re-runs.
+        assert faults.calls[("static", ids[1])] == 1
+
+    def test_transient_fault_recovers_via_retry(self, tiny_corpus):
+        ids = _app_ids(tiny_corpus, KEY)
+        bad = ids[0]
+        faults = TransientFaults(
+            FailApps((bad,), phases=("static",)), attempts=1
+        )
+        engine = ExecutionEngine(
+            tiny_corpus,
+            ExecutionPlan(max_retries=1, chunk_size=1),
+            fault_predicate=faults,
+        )
+        outcome = engine.execute_resilient(
+            engine.units_for("static", KEY, range(len(ids)))
+        )
+        assert outcome.failures == []
+        assert [r.app_id for r in outcome.items] == ids
+
+    def test_zero_retries_fails_after_one_attempt(self, tiny_corpus):
+        ids = _app_ids(tiny_corpus, KEY)
+        faults = CountingFaults(FailApps((ids[0],), phases=("static",)))
+        engine = ExecutionEngine(
+            tiny_corpus,
+            ExecutionPlan(max_retries=0, chunk_size=1),
+            fault_predicate=faults,
+        )
+        outcome = engine.execute_resilient(
+            engine.units_for("static", KEY, range(2))
+        )
+        assert faults.calls[("static", ids[0])] == 1
+        assert outcome.failures[0].attempts == 1
+
+    def test_backoff_doubles_and_is_capped(self):
+        plan = ExecutionPlan(retry_backoff_s=0.5)
+        assert plan.backoff_for(0) == 0.5
+        assert plan.backoff_for(1) == 1.0
+        assert plan.backoff_for(30) == 30.0  # RETRY_BACKOFF_CAP_S
+        assert ExecutionPlan().backoff_for(5) == 0.0
+
+    def test_plan_rejects_negative_fault_knobs(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(max_retries=-1)
+        with pytest.raises(ValueError):
+            ExecutionPlan(retry_backoff_s=-0.1)
+        with pytest.raises(ValueError):
+            ExecutionPlan(retry_deadline_s=-1.0)
+
+
+class TestPoolHygiene:
+    def test_strict_execute_shuts_pool_down_on_error(self, tiny_corpus):
+        engine = ExecutionEngine(
+            tiny_corpus,
+            ExecutionPlan(workers=2, chunk_size=2),
+            fault_predicate=FailApps(
+                tuple(_app_ids(tiny_corpus, KEY)[:1]), phases=("static",)
+            ),
+        )
+        units = engine.units_for("static", KEY, range(4))
+        with pytest.raises(InjectedFault):
+            engine.execute(units)
+        assert engine._pool is None
+
+    def test_parallel_resilient_keeps_pool_and_degrades(self, tiny_corpus):
+        ids = _app_ids(tiny_corpus, KEY)
+        bad = ids[0]
+        engine = ExecutionEngine(
+            tiny_corpus,
+            ExecutionPlan(workers=2, chunk_size=len(ids)),
+            fault_predicate=FailApps((bad,), phases=("static",)),
+        )
+        try:
+            outcome = engine.execute_resilient(
+                engine.units_for("static", KEY, range(len(ids)))
+            )
+            assert [r.app_id for r in outcome.items] == [
+                i for i in ids if i != bad
+            ]
+            assert [f.app_id for f in outcome.failures] == [bad]
+            assert engine._pool is not None  # healthy pool survives
+        finally:
+            engine.close()
+
+
+class TestCheckpoint:
+    def test_resume_replays_journaled_units_bit_for_bit(
+        self, tiny_corpus, tmp_path
+    ):
+        path = tmp_path / "study.ckpt"
+        ids = _app_ids(tiny_corpus, KEY)
+        engine = ExecutionEngine(tiny_corpus, ExecutionPlan())
+        units = engine.units_for("dynamic", KEY, range(len(ids)), 0.0)
+        with StudyCheckpoint(path, tiny_corpus.seed, 30.0) as checkpoint:
+            first = engine.execute_resilient(units, checkpoint)
+            assert checkpoint.completed_units == len(units)
+
+        counter = CountingFaults()
+        replay_engine = ExecutionEngine(
+            tiny_corpus, ExecutionPlan(), fault_predicate=counter
+        )
+        with StudyCheckpoint(path, tiny_corpus.seed, 30.0) as checkpoint:
+            replayed = replay_engine.execute_resilient(units, checkpoint)
+        assert counter.calls == {}  # nothing recomputed
+        assert [
+            (r.app_id, sorted(r.pinned_destinations))
+            for r in replayed.items
+        ] == [
+            (r.app_id, sorted(r.pinned_destinations)) for r in first.items
+        ]
+        assert [
+            [(f.sni, f.started_at, f.handshake_completed) for f in r.direct_capture]
+            for r in replayed.items
+        ] == [
+            [(f.sni, f.started_at, f.handshake_completed) for f in r.direct_capture]
+            for r in first.items
+        ]
+
+    def test_lookup_composes_quarantined_solo_units(
+        self, tiny_corpus, tmp_path
+    ):
+        path = tmp_path / "solo.ckpt"
+        engine = ExecutionEngine(tiny_corpus, ExecutionPlan())
+        unit = engine.units_for("static", KEY, range(3))[0]
+        solos = split_unit(unit)
+        with StudyCheckpoint(path, tiny_corpus.seed, 30.0) as checkpoint:
+            for solo in solos:
+                checkpoint.record(solo, engine.execute([solo])[0])
+            composed = checkpoint.lookup(unit)
+        assert composed is not None
+        assert [r.app_id for r in composed] == _app_ids(tiny_corpus, KEY)[:3]
+
+    def test_seed_mismatch_is_rejected(self, tiny_corpus, tmp_path):
+        path = tmp_path / "seeded.ckpt"
+        with StudyCheckpoint(path, 1, 30.0):
+            pass
+        with pytest.raises(ValueError, match="seed"):
+            StudyCheckpoint(path, 2, 30.0).open()
+
+    def test_truncated_tail_is_discarded(self, tiny_corpus, tmp_path):
+        path = tmp_path / "trunc.ckpt"
+        engine = ExecutionEngine(tiny_corpus, ExecutionPlan())
+        units = engine.units_for("static", KEY, range(2))
+        with StudyCheckpoint(path, tiny_corpus.seed, 30.0) as checkpoint:
+            checkpoint.record(units[0], engine.execute(units)[0])
+        with open(path, "ab") as fh:
+            fh.write(b"\x80\x04garbage")  # killed mid-write
+        reopened = StudyCheckpoint(path, tiny_corpus.seed, 30.0).open()
+        assert reopened.completed_units == 1
+        reopened.close()
+
+    def test_key_binds_sleep_and_unit_identity(self, tiny_corpus, tmp_path):
+        path = tmp_path / "keys.ckpt"
+        engine = ExecutionEngine(tiny_corpus, ExecutionPlan())
+        unit = engine.units_for("static", KEY, range(2))[0]
+        with StudyCheckpoint(path, tiny_corpus.seed, 30.0) as checkpoint:
+            checkpoint.record(unit, engine.execute([unit])[0])
+        other_window = StudyCheckpoint(path, tiny_corpus.seed, 60.0).open()
+        assert other_window.lookup(unit) is None
+        other_window.close()
+
+
+class TestStudyDegradation:
+    def test_faulted_study_completes_and_resume_converges(
+        self, tiny_corpus, tmp_path
+    ):
+        path = tmp_path / "study.ckpt"
+        baseline = Study(tiny_corpus).run()
+        assert baseline.failures == []
+
+        faulted = Study(
+            tiny_corpus, fault_predicate=SeededFaults(0.1, seed=7)
+        ).run(resume=path)
+        assert faulted.failures  # something failed...
+        assert faulted.table3().render()  # ...yet the study delivered
+        failed_ids = {f.app_id for f in faulted.failures}
+        for platform in ("android", "ios"):
+            assert set(faulted.dynamic_by_app(platform)) <= set(
+                baseline.dynamic_by_app(platform)
+            )
+
+        resumed = Study(tiny_corpus).run(resume=path)
+        assert resumed.failures == []
+        assert resumed.table3().render() == baseline.table3().render()
+        assert resumed.figure2().render() == baseline.figure2().render()
+        for platform in ("android", "ios"):
+            ref = baseline.dynamic_by_app(platform)
+            got = resumed.dynamic_by_app(platform)
+            assert set(got) == set(ref)
+            for app_id, result in ref.items():
+                assert (
+                    got[app_id].pinned_destinations
+                    == result.pinned_destinations
+                )
+        assert failed_ids  # the faulted run really did lose apps
+
+    def test_dynamic_failure_excludes_app_downstream(self, tiny_corpus):
+        ids = _app_ids(tiny_corpus, ("android", "popular"))
+        bad = ids[0]
+        results = Study(
+            tiny_corpus,
+            fault_predicate=FailApps((bad,), phases=("dynamic",)),
+        ).run()
+        assert [f.app_id for f in results.failures] == [bad]
+        assert bad not in results.dynamic_by_app("android")
+        assert all(c.app_id != bad for c in results.circumvention["android"])

@@ -42,6 +42,50 @@ class TestHashRegex:
         assert not HASH_PATTERN.search("sha512/" + "a" * 40)
 
 
+class TestDedupKeys:
+    """Dedup keys must be tuples: concatenating subject and serial makes
+    ``("CN=A", "BC")`` collide with ``("CN=AB", "C")`` and silently drop a
+    distinct certificate."""
+
+    @pytest.fixture()
+    def colliding_pem(self):
+        from repro.pki.certificate import Certificate, DistinguishedName
+        from repro.pki.keys import KeyPair
+        from repro.util.simtime import Timestamp
+
+        def cert(common_name, serial, label):
+            name = DistinguishedName(common_name=common_name)
+            key = KeyPair.generate(DeterministicRng(hash(label) & 0xFFFF))
+            return Certificate(
+                subject=name,
+                issuer=name,
+                serial=serial,
+                not_before=Timestamp(0),
+                not_after=Timestamp(10**9),
+                key=key,
+            )
+
+        first = cert("A", "BC", "first")
+        second = cert("AB", "C", "second")
+        assert first.subject.render() + first.serial == (
+            second.subject.render() + second.serial
+        )
+        return first.to_pem() + "\n" + second.to_pem()
+
+    def test_extension_channel_keeps_both_certificates(self, colliding_pem):
+        tree = FileTree()
+        tree.add("assets/bundle.pem", colliding_pem)
+        result = scan_tree(tree)
+        assert len(result.certificates) == 2
+
+    def test_pem_channel_keeps_both_certificates(self, colliding_pem):
+        tree = FileTree()
+        tree.add("res/raw/pins.txt", colliding_pem)
+        result = scan_tree(tree)
+        assert len(result.certificates) == 2
+        assert {c.channel for c in result.certificates} == {"pem"}
+
+
 class TestScanTree:
     def test_finds_pem_file_by_extension(self, issued):
         tree = FileTree()

@@ -66,6 +66,17 @@ class TestChiSquare:
         with pytest.raises(ValueError):
             stats.chi_square_independence([[0, 0], [1, 2]])
 
+    def test_zero_margin_message_is_ours_on_every_path(self):
+        # The margins are validated *before* dispatching to scipy, so the
+        # scipy path and the pure-Python fallback raise the same
+        # ValueError (scipy's own zero-margin error reads differently and
+        # callers match on this message).
+        for table in ([[0, 0], [1, 2]], [[1, 2], [0, 0]],
+                      [[0, 1], [0, 2]], [[1, 0], [2, 0]],
+                      [[0, 0], [0, 0]]):
+            with pytest.raises(ValueError, match="zero margin"):
+                stats.chi_square_independence(table)
+
 
 class TestMean:
     def test_empty(self):
