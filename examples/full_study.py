@@ -8,17 +8,21 @@ few minutes; use ``--scale`` to shrink.
 
 Run:
     python examples/full_study.py [--scale 1.0] [--workers 4] \
-        [--resume study.ckpt] [--max-retries 2] [--out results.txt]
+        [--resume study.ckpt] [--max-retries 2] [--out results.txt] \
+        [--trace-out study.trace.json] [--metrics-out study.metrics.json]
 
 An interrupted run resumes from ``--resume``'s journal; per-app failures
 never abort the study — they are retried, quarantined, and reported in
-the "error ledger" section of the output.
+the "error ledger" section of the output.  ``--trace-out`` /
+``--metrics-out`` instrument the run (spans, counters, cache hit rates)
+without changing its results; the trace loads in Perfetto.
 """
 
 import argparse
+import os
 import sys
-import time
 
+from repro.core import obs
 from repro.core.analysis import Study
 from repro.core.exec import ExecutionPlan, SeededFaults
 from repro.core.analysis.certificates import (
@@ -65,36 +69,67 @@ def main() -> None:
         "fraction of per-app work",
     )
     parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default="",
+        help="instrument the run; write Chrome trace-event JSON here "
+        "(loads in Perfetto / about://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default="",
+        help="instrument the run; write flat metrics JSON here",
+    )
     parser.add_argument("--out", type=str, default="")
     args = parser.parse_args()
+
+    # Fail on an unwritable export path before the run, not after.
+    for path in (args.trace_out, args.metrics_out):
+        if path and not os.path.isdir(os.path.dirname(path) or "."):
+            parser.error(f"output directory does not exist: {path}")
 
     out = open(args.out, "w") if args.out else sys.stdout
 
     def emit(text=""):
         print(text, file=out)
 
-    started = time.time()
+    stopwatch = obs.Stopwatch()
     config = CorpusConfig(seed=args.seed)
     if args.scale != 1.0:
         config = config.scaled(args.scale)
     corpus = CorpusGenerator(config).generate()
     emit(
         f"corpus: {corpus.total_unique_apps()} unique apps "
-        f"({time.time() - started:.0f}s)"
+        f"({stopwatch.elapsed():.0f}s)"
     )
 
-    started = time.time()
+    stopwatch.restart()
     faults = (
         SeededFaults(args.fault_rate, seed=args.fault_seed)
         if args.fault_rate > 0
         else None
     )
+    recorder = (
+        obs.Recorder() if (args.trace_out or args.metrics_out) else None
+    )
     plan = ExecutionPlan(workers=args.workers, max_retries=args.max_retries)
     results = Study(corpus, plan=plan, fault_predicate=faults).run(
-        resume=args.resume or None
+        resume=args.resume or None, recorder=recorder
     )
-    emit(f"study: complete ({time.time() - started:.0f}s)")
+    emit(f"study: complete ({stopwatch.elapsed():.0f}s)")
     emit()
+
+    if recorder is not None:
+        if args.trace_out:
+            recorder.write_trace(args.trace_out)
+            emit(f"trace written to {args.trace_out}")
+        if args.metrics_out:
+            recorder.write_metrics(args.metrics_out)
+            emit(f"metrics written to {args.metrics_out}")
+        emit(results.telemetry_table().render())
+        emit()
 
     # The error ledger: a fault-free run prints "0 unit failure(s)" and
     # nothing else; a degraded run lists every abandoned app so the

@@ -14,10 +14,11 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import time
 from typing import List, Optional
 
+from repro.core import obs
 from repro.core.analysis import Study
 from repro.core.exec import ExecutionPlan, SeededFaults
 from repro.corpus import CorpusConfig, CorpusGenerator
@@ -93,12 +94,38 @@ def _cmd_corpus(args) -> int:
 
 
 def _cmd_study(args) -> int:
+    # Fail on an unwritable export path *before* the run, not after a
+    # multi-hour study has produced results it then cannot write.
+    for path in (args.trace_out, args.metrics_out):
+        if path:
+            parent = os.path.dirname(path) or "."
+            if not os.path.isdir(parent):
+                print(
+                    f"error: output directory does not exist: {parent}",
+                    file=sys.stderr,
+                )
+                return 2
     corpus = _build_corpus(args)
-    started = time.time()
+    recorder = None
+    if args.trace_out or args.metrics_out:
+        recorder = obs.Recorder()
+    # perf_counter, not time.time(): the wall clock can step (NTP slews,
+    # suspend/resume) and would mis-report long runs — and telemetry spans
+    # already use the monotonic clock, so the headline number must agree
+    # with the trace.
+    stopwatch = obs.Stopwatch()
     results = Study(
         corpus, plan=_plan(args), fault_predicate=_faults(args)
-    ).run(resume=args.resume)
-    print(f"# study completed in {time.time() - started:.0f}s", file=sys.stderr)
+    ).run(resume=args.resume, recorder=recorder)
+    print(f"# study completed in {stopwatch.elapsed():.0f}s", file=sys.stderr)
+    if recorder is not None:
+        if args.trace_out:
+            recorder.write_trace(args.trace_out)
+            print(f"# trace written to {args.trace_out}", file=sys.stderr)
+        if args.metrics_out:
+            recorder.write_metrics(args.metrics_out)
+            print(f"# metrics written to {args.metrics_out}", file=sys.stderr)
+        print(results.telemetry_table().render(), file=sys.stderr)
     _report_ledger(results)
     for name in TABLE_CHOICES:
         print(getattr(results, name)().render())
@@ -200,6 +227,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="checkpoint journal: completed work units are recorded here "
         "and replayed on a later run with the same seed/scale",
+    )
+    study.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="instrument the run and write a Chrome trace-event JSON "
+        "here (load it in Perfetto or about://tracing)",
+    )
+    study.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="instrument the run and write flat metrics JSON (counters, "
+        "gauges, histograms, cache hit rates) here",
     )
     table = sub.add_parser("table", help="print one table/figure")
     table.add_argument("name", choices=TABLE_CHOICES + ["figure4"])

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core import obs as obs_mod
 from repro.core.analysis import categories as categories_mod
 from repro.core.analysis import certificates as certificates_mod
 from repro.core.analysis import consistency as consistency_mod
@@ -51,6 +52,13 @@ class StudyResults:
     #: every other field holds *partial* results that exclude exactly
     #: these apps.
     failures: List[UnitFailure] = field(default_factory=list)
+    #: The telemetry recorder the run was instrumented with, or None when
+    #: telemetry was off.  Excluded from comparison: two runs with the
+    #: same inputs produce equal results whether or not either was
+    #: observed.
+    telemetry: Optional["obs_mod.Recorder"] = field(
+        default=None, repr=False, compare=False
+    )
     #: Memoized derived views.  Every table method funnels through a small
     #: set of expensive aggregations (prevalence cells, pair
     #: classifications, per-app indexes); rendering all tables repeatedly
@@ -103,6 +111,13 @@ class StudyResults:
     def error_ledger(self) -> List[str]:
         """Human-readable ledger lines, one per abandoned app."""
         return [failure.describe() for failure in self.failures]
+
+    def telemetry_table(self) -> Optional[Table]:
+        """Summary of recorded telemetry, or None when the run was not
+        instrumented (pass ``recorder=`` to :meth:`Study.run`)."""
+        if self.telemetry is None:
+            return None
+        return self.telemetry.summary_table()
 
     def pair_classifications(
         self,
@@ -319,7 +334,11 @@ class Study:
                 rerun_ids.add(ios_pkg.app.app_id)
         return rerun_ids
 
-    def run(self, resume: Optional[str] = None) -> StudyResults:
+    def run(
+        self,
+        resume: Optional[str] = None,
+        recorder: Optional["obs_mod.Recorder"] = None,
+    ) -> StudyResults:
         """Execute every pipeline stage; deterministic for a given corpus
         and identical for every execution plan.
 
@@ -335,18 +354,34 @@ class Study:
                 same seed and capture window) are replayed instead of
                 recomputed, so an interrupted or partially failed run
                 picks up where it left off.
+            recorder: optional :class:`repro.core.obs.Recorder`.  When
+                given, the run is instrumented — spans, counters and
+                cache statistics accumulate in the recorder (worker
+                processes included), and the recorder is attached to the
+                results as ``StudyResults.telemetry``.  Results are
+                bit-for-bit identical with or without a recorder.
         """
         checkpoint: Optional[StudyCheckpoint] = None
+        if recorder is not None:
+            # Must happen before the engine spins up its pool so workers
+            # are initialized with telemetry on.
+            self.engine.recorder = recorder
+            recorder.install()
         if resume is not None:
             checkpoint = StudyCheckpoint(
                 resume, self.corpus.seed, self.sleep_s
             ).open()
         try:
-            return self._run(checkpoint)
+            results = self._run(checkpoint)
+            results.telemetry = recorder
+            return results
         finally:
             if checkpoint is not None:
                 checkpoint.close()
             self.engine.close()
+            if recorder is not None:
+                recorder.uninstall()
+                self.engine.recorder = None
 
     def _run(self, checkpoint: Optional[StudyCheckpoint] = None) -> StudyResults:
         corpus = self.corpus
@@ -363,7 +398,8 @@ class Study:
                 for unit in engine.units_for(kind, key, indices, 0.0):
                     units.append(unit)
                     owners.append((kind, key))
-        outcome = engine.execute_resilient(units, checkpoint)
+        with obs_mod.span("phase.static_dynamic", cat="study"):
+            outcome = engine.execute_resilient(units, checkpoint)
         ledger.extend(outcome.failures)
         merged: Dict[Tuple[str, DatasetKey], list] = {}
         for owner, unit_result in zip(owners, outcome.unit_results):
@@ -387,9 +423,10 @@ class Study:
             for index, packaged in enumerate(corpus.dataset("ios", "common"))
             if packaged.app.app_id in rerun_ids
         ]
-        rerun_outcome = engine.map_dataset_resilient(
-            "dynamic", ("ios", "common"), rerun_indices, 120.0, checkpoint
-        )
+        with obs_mod.span("phase.ios_rerun", cat="study"):
+            rerun_outcome = engine.map_dataset_resilient(
+                "dynamic", ("ios", "common"), rerun_indices, 120.0, checkpoint
+            )
         ledger.extend(rerun_outcome.failures)
         # Replace by app id, not position: with partial phase-1 results
         # the list no longer lines up with dataset indices.  A re-run of
@@ -410,41 +447,53 @@ class Study:
             "android": [],
             "ios": [],
         }
-        for (platform, dataset), results in sorted(dynamic_results.items()):
-            results_by_id = {r.app_id: r for r in results}
-            indices: List[int] = []
-            pinned_sets: List[Tuple[str, ...]] = []
-            for index, packaged in enumerate(corpus.dataset(platform, dataset)):
-                result = results_by_id.get(packaged.app.app_id)
-                if result is None or not result.pins():
-                    continue
-                indices.append(index)
-                pinned_sets.append(tuple(sorted(result.pinned_destinations)))
-            circ_outcome = engine.map_dataset_resilient(
-                "circumvent", (platform, dataset), indices, pinned_sets, checkpoint
-            )
-            ledger.extend(circ_outcome.failures)
-            circumvention[platform].extend(
-                circ for circ in circ_outcome.items if circ is not None
-            )
+        with obs_mod.span("phase.circumvention", cat="study"):
+            for (platform, dataset), results in sorted(
+                dynamic_results.items()
+            ):
+                results_by_id = {r.app_id: r for r in results}
+                indices: List[int] = []
+                pinned_sets: List[Tuple[str, ...]] = []
+                for index, packaged in enumerate(
+                    corpus.dataset(platform, dataset)
+                ):
+                    result = results_by_id.get(packaged.app.app_id)
+                    if result is None or not result.pins():
+                        continue
+                    indices.append(index)
+                    pinned_sets.append(
+                        tuple(sorted(result.pinned_destinations))
+                    )
+                circ_outcome = engine.map_dataset_resilient(
+                    "circumvent",
+                    (platform, dataset),
+                    indices,
+                    pinned_sets,
+                    checkpoint,
+                )
+                ledger.extend(circ_outcome.failures)
+                circumvention[platform].extend(
+                    circ for circ in circ_outcome.items if circ is not None
+                )
 
         pii: Dict[str, PIIComparison] = {}
-        for platform in ("android", "ios"):
-            device = (
-                self.dynamic_pipeline.android_device
-                if platform == "android"
-                else self.dynamic_pipeline.ios_device
-            )
-            all_results = []
-            for (plat, _), results in sorted(dynamic_results.items()):
-                if plat == platform:
-                    all_results.extend(results)
-            pii[platform] = pii_mod.platform_pii_comparison(
-                platform,
-                device.identifiers,
-                all_results,
-                circumvention[platform],
-            )
+        with obs_mod.span("phase.pii", cat="study"):
+            for platform in ("android", "ios"):
+                device = (
+                    self.dynamic_pipeline.android_device
+                    if platform == "android"
+                    else self.dynamic_pipeline.ios_device
+                )
+                all_results = []
+                for (plat, _), results in sorted(dynamic_results.items()):
+                    if plat == platform:
+                        all_results.extend(results)
+                pii[platform] = pii_mod.platform_pii_comparison(
+                    platform,
+                    device.identifiers,
+                    all_results,
+                    circumvention[platform],
+                )
 
         return StudyResults(
             corpus=corpus,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.core import obs
 from repro.core.circumvent.frida import FridaSession, InstrumentationOutcome
 from repro.core.dynamic.pipeline import DynamicAppResult, DynamicPipeline
 from repro.core.exec.faults import maybe_inject
@@ -91,33 +92,47 @@ class CircumventionPipeline:
             return None
         app = packaged.app
         maybe_inject(self.fault_predicate, "circumvent", app.app_id)
-        device = self._device_for(app.platform)
-        session = FridaSession(device)
-        outcome = session.instrument(app.runtime_policy(device.system_store))
-
-        harness = self.dynamic._harnesses[app.platform]
-        capture = harness.run_app(
-            packaged,
-            RunConfig(
-                mitm=True,
-                sleep_s=self.dynamic.sleep_s,
-                transient_failure_prob=self.dynamic.transient_failure_prob,
-                policy_override=outcome.patched_policy,
-            ),
-        )
-
-        # A destination counts as circumvented when its pinned traffic
-        # actually decrypted in the hooked run.
-        decrypted = {
-            f.sni for f in capture if f.plaintext_visible and f.sni in pinned
-        }
-        return CircumventionResult(
-            app_id=app.app_id,
+        with obs.span(
+            "circumvent.app",
+            cat="circumvent",
+            app=app.app_id,
             platform=app.platform,
-            bypassed_destinations=decrypted,
-            resistant_destinations=pinned - decrypted,
-            hooked_capture=capture,
-        )
+        ):
+            device = self._device_for(app.platform)
+            with obs.span("circumvent.hook_inject", cat="circumvent"):
+                session = FridaSession(device)
+                outcome = session.instrument(
+                    app.runtime_policy(device.system_store)
+                )
+
+            harness = self.dynamic._harnesses[app.platform]
+            with obs.span("circumvent.hooked_run", cat="circumvent"):
+                capture = harness.run_app(
+                    packaged,
+                    RunConfig(
+                        mitm=True,
+                        sleep_s=self.dynamic.sleep_s,
+                        transient_failure_prob=(
+                            self.dynamic.transient_failure_prob
+                        ),
+                        policy_override=outcome.patched_policy,
+                    ),
+                )
+
+            # A destination counts as circumvented when its pinned traffic
+            # actually decrypted in the hooked run.
+            decrypted = {
+                f.sni
+                for f in capture
+                if f.plaintext_visible and f.sni in pinned
+            }
+            return CircumventionResult(
+                app_id=app.app_id,
+                platform=app.platform,
+                bypassed_destinations=decrypted,
+                resistant_destinations=pinned - decrypted,
+                hooked_capture=capture,
+            )
 
     def circumvent_dataset(
         self, packaged_apps: List, results: List[DynamicAppResult]

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.appmodel.android import AndroidApp
 from repro.appmodel.ios import IOSApp
+from repro.core import obs
 from repro.core.dynamic.background import ios_excluded_destinations
 from repro.core.dynamic.detector import (
     DestinationVerdict,
@@ -138,41 +139,50 @@ class DynamicPipeline:
         """
         app = packaged.app
         maybe_inject(self.fault_predicate, "dynamic", app.app_id)
-        harness = self._harnesses[app.platform]
-        base = RunConfig(
-            mitm=False,
-            sleep_s=self.sleep_s,
-            pre_launch_wait_s=pre_launch_wait_s,
-            transient_failure_prob=self.transient_failure_prob,
-            interact=interact,
-        )
-        mitm = RunConfig(
-            mitm=True,
-            sleep_s=self.sleep_s,
-            pre_launch_wait_s=pre_launch_wait_s,
-            transient_failure_prob=self.transient_failure_prob,
-            interact=interact,
-        )
-        direct = harness.run_app(packaged, base)
-        intercepted = harness.run_app(packaged, mitm)
-        if pre_launch_wait_s >= 120.0 and isinstance(packaged, IOSApp):
-            # The re-run methodology: verification traffic finished before
-            # the capture, so only the Apple domains need excluding.
-            from repro.device.ios import APPLE_BACKGROUND_DOMAINS
+        with obs.span(
+            "dynamic.app", cat="dynamic", app=app.app_id, platform=app.platform
+        ):
+            harness = self._harnesses[app.platform]
+            base = RunConfig(
+                mitm=False,
+                sleep_s=self.sleep_s,
+                pre_launch_wait_s=pre_launch_wait_s,
+                transient_failure_prob=self.transient_failure_prob,
+                interact=interact,
+            )
+            mitm = RunConfig(
+                mitm=True,
+                sleep_s=self.sleep_s,
+                pre_launch_wait_s=pre_launch_wait_s,
+                transient_failure_prob=self.transient_failure_prob,
+                interact=interact,
+            )
+            with obs.span("dynamic.run_direct", cat="dynamic"):
+                direct = harness.run_app(packaged, base)
+            with obs.span("dynamic.run_mitm", cat="dynamic"):
+                intercepted = harness.run_app(packaged, mitm)
+            if pre_launch_wait_s >= 120.0 and isinstance(packaged, IOSApp):
+                # The re-run methodology: verification traffic finished
+                # before the capture, so only the Apple domains need
+                # excluding.
+                from repro.device.ios import APPLE_BACKGROUND_DOMAINS
 
-            excluded: Set[str] = set(APPLE_BACKGROUND_DOMAINS)
-        else:
-            excluded = self._exclusions_for(packaged)
-        verdicts = detect_pinned_destinations(direct, intercepted, excluded)
-        return DynamicAppResult(
-            app_id=app.app_id,
-            platform=app.platform,
-            verdicts=verdicts,
-            direct_capture=direct,
-            mitm_capture=intercepted,
-            excluded_destinations=excluded,
-            reran_with_wait=pre_launch_wait_s >= 120.0,
-        )
+                excluded: Set[str] = set(APPLE_BACKGROUND_DOMAINS)
+            else:
+                excluded = self._exclusions_for(packaged)
+            with obs.span("dynamic.detect", cat="dynamic"):
+                verdicts = detect_pinned_destinations(
+                    direct, intercepted, excluded
+                )
+            return DynamicAppResult(
+                app_id=app.app_id,
+                platform=app.platform,
+                verdicts=verdicts,
+                direct_capture=direct,
+                mitm_capture=intercepted,
+                excluded_destinations=excluded,
+                reran_with_wait=pre_launch_wait_s >= 120.0,
+            )
 
     def run_dataset(
         self,

@@ -14,14 +14,28 @@ seed mismatch is additionally rejected up front via the file header, the
 friendlier failure).  The file is an append-only pickle stream; a
 truncated final record — the process died mid-write — is discarded on
 load rather than poisoning the run.
+
+Corrupt records in the *middle* of the stream (bit rot, a partial write
+that later appends papered over) are survivable too: the loader resyncs
+at the next parseable record boundary instead of silently dropping
+everything after the first bad byte, counts what it had to discard
+(:attr:`StudyCheckpoint.records_discarded` /
+:attr:`~StudyCheckpoint.records_recovered`), reports the loss through the
+telemetry recorder when one is active, and raises a ``RuntimeWarning`` —
+mid-file data loss must never be silent, because every discarded record
+is a work unit the run will silently recompute.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import pickle
+import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Union
+
+from repro.core import obs
 
 _MAGIC = "repro-study-checkpoint"
 _VERSION = 1
@@ -52,6 +66,44 @@ def split_unit(unit) -> List[tuple]:
     return [(kind, platform, dataset, (index,), extra) for index in indices]
 
 
+def _validate_record(record) -> tuple:
+    """Shape-check one journal record; raise ``ValueError`` otherwise.
+
+    Records are ``(key, payload)`` with a 64-hex-digit key and a list
+    payload.  Resync candidates that deserialise but are not records
+    (pickle opcodes can occur inside payload bytes) are rejected here.
+    """
+    if not (isinstance(record, tuple) and len(record) == 2):
+        raise ValueError("not a journal record")
+    key, payload = record
+    if not (isinstance(key, str) and len(key) == 64 and isinstance(payload, list)):
+        raise ValueError("not a journal record")
+    return key, payload
+
+
+def _next_record_offset(data: bytes, start: int) -> Optional[int]:
+    """First offset >= ``start`` where a whole valid record parses.
+
+    Every record was written by its own ``pickle.dump`` call and so
+    begins with the ``PROTO`` opcode (``0x80``); candidate offsets are
+    its occurrences.  A candidate only counts when a full record loads
+    from it *and* passes the shape check — stray ``0x80`` bytes inside a
+    corrupt region or a payload fail one of the two.
+    """
+    position = data.find(b"\x80", start)
+    while position != -1:
+        fh = io.BytesIO(data)
+        fh.seek(position)
+        try:
+            _validate_record(pickle.load(fh))
+        except Exception:
+            pass
+        else:
+            return position
+        position = data.find(b"\x80", position + 1)
+    return None
+
+
 class StudyCheckpoint:
     """Journal of completed unit results for one study configuration.
 
@@ -67,6 +119,16 @@ class StudyCheckpoint:
         self.sleep_s = float(sleep_s)
         self._cache: Dict[str, list] = {}
         self._fh = None
+        #: Good records loaded from an existing journal.
+        self.records_recovered = 0
+        #: Corrupt regions skipped while loading.  Each region destroyed at
+        #: least one record; the exact count inside a region is unknowable
+        #: (the pickle stream is not self-delimiting), so this is a floor.
+        self.records_discarded = 0
+        #: True when a corrupt region had good records *after* it — the
+        #: silent-data-loss case the resync exists for (a trailing
+        #: truncated record is expected after a kill and not flagged).
+        self.mid_file_corruption = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -96,33 +158,65 @@ class StudyCheckpoint:
     def _load_existing(self) -> None:
         if not self.path.exists() or self.path.stat().st_size == 0:
             return
-        with open(self.path, "rb") as fh:
+        data = self.path.read_bytes()
+        fh = io.BytesIO(data)
+        try:
+            header = pickle.load(fh)
+        except (EOFError, pickle.UnpicklingError):
+            raise ValueError(f"{self.path} is not a study checkpoint")
+        if (
+            not isinstance(header, tuple)
+            or len(header) != 3
+            or header[0] != _MAGIC
+            or header[1] != _VERSION
+        ):
+            raise ValueError(f"{self.path} is not a study checkpoint")
+        if header[2] != self.seed:
+            raise ValueError(
+                f"checkpoint {self.path} was written for seed "
+                f"{header[2]}, not {self.seed}"
+            )
+
+        recovered_after_corruption = 0
+        saw_corruption = False
+        while fh.tell() < len(data):
+            offset = fh.tell()
             try:
-                header = pickle.load(fh)
-            except (EOFError, pickle.UnpicklingError):
-                raise ValueError(f"{self.path} is not a study checkpoint")
-            if (
-                not isinstance(header, tuple)
-                or len(header) != 3
-                or header[0] != _MAGIC
-                or header[1] != _VERSION
-            ):
-                raise ValueError(f"{self.path} is not a study checkpoint")
-            if header[2] != self.seed:
-                raise ValueError(
-                    f"checkpoint {self.path} was written for seed "
-                    f"{header[2]}, not {self.seed}"
-                )
-            while True:
-                try:
-                    key, payload = pickle.load(fh)
-                except EOFError:
+                record = pickle.load(fh)
+                key, payload = _validate_record(record)
+            except Exception:
+                # A record that does not load or does not look like one.
+                # EOFError here is NOT a clean end-of-journal (the loop
+                # condition already handles that): it is a truncated
+                # record.  Either way, skip to the next offset where a
+                # whole valid record parses; if none exists the bad
+                # region runs to EOF (the ordinary killed-mid-write tail).
+                self.records_discarded += 1
+                resume_at = _next_record_offset(data, offset + 1)
+                if resume_at is None:
                     break
-                except Exception:
-                    # Truncated or corrupt tail record (killed mid-write):
-                    # everything before it is still good.
-                    break
-                self._cache[key] = payload
+                saw_corruption = True
+                fh.seek(resume_at)
+                continue
+            self._cache[key] = payload
+            self.records_recovered += 1
+            if saw_corruption:
+                recovered_after_corruption += 1
+
+        self.mid_file_corruption = recovered_after_corruption > 0
+        if self.records_discarded:
+            obs.count("journal.records.discarded", self.records_discarded)
+        obs.count("journal.records.recovered", self.records_recovered)
+        if self.mid_file_corruption:
+            warnings.warn(
+                f"checkpoint {self.path}: {self.records_discarded} corrupt "
+                f"record(s) discarded mid-journal; "
+                f"{recovered_after_corruption} good record(s) after the "
+                "corruption were recovered (their units will not be "
+                "recomputed, the discarded ones will)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # -- journal access ----------------------------------------------------
 

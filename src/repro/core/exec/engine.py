@@ -46,8 +46,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core import obs
 from repro.core.exec.checkpoint import StudyCheckpoint, split_unit
-from repro.core.exec.faults import FaultPredicate, UnitFailure
+from repro.core.exec.faults import FaultPredicate, InjectedFault, UnitFailure
 from repro.core.exec.plan import ExecutionPlan
 
 #: A work unit: ``(kind, platform, dataset, indices, extra)``.  ``indices``
@@ -143,22 +144,70 @@ def _run_unit(state: dict, unit: WorkUnit) -> list:
     raise ValueError(f"unknown work-unit kind: {kind!r}")
 
 
+def _run_unit_timed(state: dict, unit: WorkUnit) -> list:
+    """Execute one unit inside a top-level telemetry span.
+
+    The span is a no-op when no recorder is active in this process; with
+    one, it becomes the unit's depth-0 region, under which the pipelines'
+    per-app and per-phase spans nest.
+    """
+    kind, platform, dataset, indices, _ = unit
+    with obs.span(
+        f"unit.{kind}",
+        cat="exec",
+        platform=platform,
+        dataset=dataset,
+        apps=len(indices),
+    ):
+        return _run_unit(state, unit)
+
+
 # -- worker-process entry points ---------------------------------------------
 
 _WORKER_STATE: Optional[dict] = None
+_WORKER_RECORDER: Optional[obs.Recorder] = None
 
 
 def _init_worker(
-    corpus, sleep_s: float, fault_predicate: Optional[FaultPredicate]
+    corpus,
+    sleep_s: float,
+    fault_predicate: Optional[FaultPredicate],
+    telemetry: bool = False,
 ) -> None:
     """Pool initializer: receives the corpus once per worker process."""
-    global _WORKER_STATE
+    global _WORKER_STATE, _WORKER_RECORDER
     _WORKER_STATE = _build_state(corpus, sleep_s, fault_predicate)
+    if telemetry:
+        _WORKER_RECORDER = obs.Recorder().install()
 
 
 def _run_unit_in_worker(unit: WorkUnit) -> list:
     assert _WORKER_STATE is not None, "worker used before initialization"
     return _run_unit(_WORKER_STATE, unit)
+
+
+def _stamp_done(future) -> None:
+    """Done-callback: record completion time on the telemetry clock.
+
+    Runs in the executor's collection thread the moment the result lands,
+    so queue-wait accounting is not skewed by how long the parent takes
+    to get around to consuming earlier futures.
+    """
+    future.done_t = obs.now()
+
+
+def _run_unit_in_worker_telemetry(unit: WorkUnit) -> tuple:
+    """Telemetry variant: returns ``(result, TelemetrySnapshot)``.
+
+    The snapshot is the worker recorder's delta since its last drain, so
+    spans and cache counters of a failed earlier attempt ride along with
+    the next successful unit on the same worker — nothing is lost, only
+    attributed slightly late.
+    """
+    assert _WORKER_STATE is not None, "worker used before initialization"
+    assert _WORKER_RECORDER is not None
+    result = _run_unit_timed(_WORKER_STATE, unit)
+    return result, _WORKER_RECORDER.drain()
 
 
 class ExecutionEngine:
@@ -176,6 +225,13 @@ class ExecutionEngine:
             worker pipelines (testing hook; see
             :mod:`repro.core.exec.faults`).  Caller-provided ``pipelines``
             are assumed to carry their own predicate already.
+        recorder: optional telemetry recorder (see :mod:`repro.core.obs`).
+            When set, every unit runs under a span, workers stream
+            per-unit telemetry snapshots back with their results, and the
+            engine counts retries, quarantines, failures and journal
+            replays.  Must be set before the worker pool is first used
+            (pool initialisation bakes the telemetry flag in).  Results
+            are bit-for-bit identical with and without a recorder.
     """
 
     def __init__(
@@ -185,11 +241,13 @@ class ExecutionEngine:
         sleep_s: float = 30.0,
         pipelines: Optional[tuple] = None,
         fault_predicate: Optional[FaultPredicate] = None,
+        recorder: Optional[obs.Recorder] = None,
     ):
         self.corpus = corpus
         self.plan = plan or ExecutionPlan()
         self.sleep_s = sleep_s
         self.fault_predicate = fault_predicate
+        self.recorder = recorder
         self._state = _build_state(corpus, sleep_s, fault_predicate)
         if pipelines is not None:
             static, dynamic, circumvent = pipelines
@@ -217,9 +275,68 @@ class ExecutionEngine:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.plan.workers,
                 initializer=_init_worker,
-                initargs=(self.corpus, self.sleep_s, self.fault_predicate),
+                initargs=(
+                    self.corpus,
+                    self.sleep_s,
+                    self.fault_predicate,
+                    self.recorder is not None,
+                ),
             )
         return self._pool
+
+    # -- telemetry plumbing ------------------------------------------------
+
+    def _count(self, name: str, n: float = 1) -> None:
+        if self.recorder is not None:
+            self.recorder.count(name, n)
+
+    def _entry(self):
+        """The worker entry point matching the telemetry mode."""
+        if self.recorder is not None:
+            return _run_unit_in_worker_telemetry
+        return _run_unit_in_worker
+
+    def _submit(self, pool: ProcessPoolExecutor, unit: WorkUnit):
+        """Submit one unit; stamp submit/done times when instrumented."""
+        future = pool.submit(self._entry(), unit)
+        if self.recorder is not None:
+            future.submit_t = obs.now()
+            future.add_done_callback(_stamp_done)
+        return future
+
+    def _collect(self, future) -> list:
+        """Resolve a future to its unit result, folding telemetry in.
+
+        With a recorder, the worker payload is ``(result, snapshot)``:
+        the snapshot's counters merge order-independently, its spans are
+        rebased from the worker's ``perf_counter`` origin onto the parent
+        timeline (anchored so the unit's compute region ends at its
+        completion time), and queue-wait (submit-to-done wall time minus
+        in-worker compute) is recorded per unit.
+        """
+        payload = future.result()
+        if self.recorder is None:
+            return payload
+        result, snapshot = payload
+        compute_s = snapshot.compute_seconds()
+        done_t = getattr(future, "done_t", obs.now())
+        wall_s = done_t - getattr(future, "submit_t", done_t)
+        self.recorder.merge_snapshot(snapshot, rebase_to=done_t - compute_s)
+        self.recorder.observe("exec.unit_wall_s", wall_s)
+        self.recorder.observe("exec.unit_compute_s", compute_s)
+        self.recorder.observe(
+            "exec.unit_queue_wait_s", max(0.0, wall_s - compute_s)
+        )
+        return result
+
+    def _run_local(self, unit: WorkUnit) -> list:
+        """Run one unit in-process (the serial scheduler), instrumented."""
+        if self.recorder is None:
+            return _run_unit(self._state, unit)
+        watch = obs.Stopwatch()
+        result = _run_unit_timed(self._state, unit)
+        self.recorder.observe("exec.unit_compute_s", watch.elapsed())
+        return result
 
     # -- sharding ----------------------------------------------------------
 
@@ -263,15 +380,26 @@ class ExecutionEngine:
         down before the exception propagates — a failed strict run must
         not leak worker processes.
         """
-        if self.plan.serial:
-            return [_run_unit(self._state, unit) for unit in units]
-        pool = self._ensure_pool()
-        futures = [pool.submit(_run_unit_in_worker, unit) for unit in units]
         try:
-            return [future.result() for future in futures]
+            if self.plan.serial:
+                results = []
+                for unit in units:
+                    results.append(self._run_local(unit))
+                    self._count("exec.units.completed")
+                return results
+            pool = self._ensure_pool()
+            futures = [self._submit(pool, unit) for unit in units]
+            try:
+                results = []
+                for future in futures:
+                    results.append(self._collect(future))
+                    self._count("exec.units.completed")
+                return results
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
         except BaseException:
-            for future in futures:
-                future.cancel()
             self.close()
             raise
 
@@ -309,6 +437,7 @@ class ExecutionEngine:
             cached = checkpoint.lookup(unit) if checkpoint is not None else None
             if cached is not None:
                 unit_results[position] = cached
+                self._count("journal.units.skipped")
             else:
                 pending.append((position, unit))
 
@@ -321,12 +450,12 @@ class ExecutionEngine:
             else:
                 pool = self._ensure_pool()
                 futures = [
-                    (position, unit, pool.submit(_run_unit_in_worker, unit))
+                    (position, unit, self._submit(pool, unit))
                     for position, unit in pending
                 ]
                 for position, unit, future in futures:
                     try:
-                        result = future.result()
+                        result = self._collect(future)
                     except Exception as exc:
                         unit_results[position] = self._run_with_recovery(
                             unit, failures, checkpoint, first_error=exc
@@ -335,6 +464,7 @@ class ExecutionEngine:
                         if checkpoint is not None:
                             checkpoint.record(unit, result)
                         unit_results[position] = result
+                        self._count("exec.units.completed")
         except BaseException:
             self.close()
             raise
@@ -362,8 +492,8 @@ class ExecutionEngine:
     def _attempt(self, unit: WorkUnit) -> list:
         """One attempt at one unit, on whichever scheduler the plan uses."""
         if self.plan.serial:
-            return _run_unit(self._state, unit)
-        return self._ensure_pool().submit(_run_unit_in_worker, unit).result()
+            return self._run_local(unit)
+        return self._collect(self._submit(self._ensure_pool(), unit))
 
     def _retry(
         self, unit: WorkUnit, first_error: Exception
@@ -389,11 +519,20 @@ class ExecutionEngine:
             if backoff > 0:
                 time.sleep(backoff)
             attempts += 1
+            self._count("exec.retry.attempts")
             try:
                 return self._attempt(unit), attempts, None
             except Exception as exc:
                 error = exc
+                self._count_error(exc)
         return None, attempts, error
+
+    def _count_error(self, exc: Exception) -> None:
+        """Ledger the error kind: injected faults vs genuine crashes."""
+        if isinstance(exc, InjectedFault):
+            self._count("exec.faults.injected")
+        else:
+            self._count("exec.faults.unexpected")
 
     def _run_with_recovery(
         self,
@@ -416,19 +555,26 @@ class ExecutionEngine:
                 result = self._attempt(unit)
             except Exception as exc:
                 first_error = exc
+                self._count_error(exc)
             else:
                 if checkpoint is not None:
                     checkpoint.record(unit, result)
+                self._count("exec.units.completed")
                 return result
+        else:
+            self._count_error(first_error)
 
         result, attempts, error = self._retry(unit, first_error)
         if result is not None:
             if checkpoint is not None:
                 checkpoint.record(unit, result)
+            self._count("exec.units.completed")
+            self._count("exec.units.recovered_by_retry")
             return result
 
         kind, platform, dataset, indices, _ = unit
         if len(indices) > 1 and self.plan.quarantine:
+            self._count("exec.units.quarantined")
             merged: list = []
             for solo in split_unit(unit):
                 merged.extend(
@@ -440,6 +586,7 @@ class ExecutionEngine:
 
         apps = self.corpus.dataset(platform, dataset)
         for index in indices:
+            self._count("exec.apps.abandoned")
             failures.append(
                 UnitFailure(
                     app_id=apps[index].app.app_id,

@@ -1,0 +1,38 @@
+"""The one clock telemetry (and the CLI's elapsed-time report) uses.
+
+Everything that measures a duration in this codebase goes through
+:func:`now` — a ``time.perf_counter`` alias.  ``time.time`` deltas jump
+whenever the wall clock is adjusted (NTP slews, manual changes, leap
+smearing), which makes them wrong for elapsed-time measurement;
+``perf_counter`` is monotonic and has the highest available resolution.
+Using a single alias keeps span timestamps and stopwatch readings on the
+same timebase, so a span's duration and the surrounding stopwatch delta
+are directly comparable.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Monotonic high-resolution timestamp in seconds.  Only differences are
+#: meaningful; the origin is arbitrary (and differs across processes).
+now = time.perf_counter
+
+
+class Stopwatch:
+    """Elapsed-seconds measurement against :func:`now`."""
+
+    __slots__ = ("started",)
+
+    def __init__(self):
+        self.started = now()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return now() - self.started
+
+    def restart(self) -> float:
+        """Reset the origin; return the elapsed time up to the reset."""
+        elapsed = self.elapsed()
+        self.started = now()
+        return elapsed

@@ -1,0 +1,377 @@
+"""The telemetry recorder and the module-level instrumentation funnel.
+
+One :class:`Recorder` collects everything a run emits — spans, counters,
+gauges, histograms — and exports two artifacts:
+
+* a Chrome trace-event JSON (``ph: "X"`` complete events, microsecond
+  timestamps) that loads directly into Perfetto or ``about://tracing``;
+* a flat metrics JSON with every counter/gauge/histogram.
+
+Instrumented code never takes a recorder parameter.  It calls the
+module-level funnel (:func:`span`, :func:`count`, :func:`observe`), which
+consults the process-global active recorder: ``None`` means telemetry is
+off and every call degrades to a near-free no-op, which is how the whole
+subsystem stays off by default with negligible overhead.
+
+Worker processes run their own recorder and :meth:`Recorder.drain` a
+picklable :class:`TelemetrySnapshot` after each work unit; the parent
+folds snapshots in with :meth:`Recorder.merge_snapshot`.  Counters add,
+gauges take maxima, histograms widen — all commutative — so the merged
+metrics are identical for every unit completion order (the same
+order-independence the engine guarantees for results).  Span *timestamps*
+are wall-clock facts and naturally vary run to run; determinism is
+claimed for metrics and for study results, never for timings.
+
+``functools.lru_cache``-based hot-path caches register themselves via
+:func:`register_cache`; the recorder turns ``cache_info()`` deltas into
+``cache.<name>.hit`` / ``cache.<name>.miss`` counters at drain/finalize
+time, so cache instrumentation costs nothing per call.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.obs import clock
+from repro.core.obs.metrics import Counter, Gauge, Histogram
+from repro.core.obs.spans import NULL_SPAN, Span, SpanTimer
+
+#: Version tag stamped into both JSON exports.
+SCHEMA_VERSION = "repro-telemetry-v1"
+
+#: Registered ``lru_cache`` functions: metric name -> cached function.
+_LRU_CACHES: Dict[str, object] = {}
+
+
+def register_cache(name: str, cached_function) -> None:
+    """Register an ``lru_cache``-wrapped function for hit/miss accounting.
+
+    Idempotent per name; modules call this once at import time.  The
+    recorder reads ``cache_info()`` deltas lazily, so registration has no
+    runtime cost for uninstrumented runs.
+    """
+    _LRU_CACHES[name] = cached_function
+
+
+@dataclass
+class TelemetrySnapshot:
+    """A picklable delta of one recorder's state since the last drain."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, tuple] = field(default_factory=dict)
+    spans: List[tuple] = field(default_factory=list)
+
+    def compute_seconds(self) -> float:
+        """Total duration of top-level (depth-0) spans in this snapshot."""
+        return sum(s[3] - s[2] for s in self.spans if s[4] == 0)
+
+
+class Recorder:
+    """Collects one run's telemetry; thread-safe; export to JSON."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._spans: List[Span] = []
+        self._tls = threading.local()
+        self._lru_baseline: Dict[str, Tuple[int, int]] = {}
+        self.epoch = clock.now()
+
+    # -- span stack (called by SpanTimer) ----------------------------------
+
+    def _push_span(self, name: str) -> int:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        depth = len(stack)
+        stack.append(name)
+        return depth
+
+    def _pop_span(self) -> None:
+        self._tls.stack.pop()
+
+    def _record_span(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def span_stack(self) -> List[str]:
+        """Names of the calling thread's currently open spans."""
+        return list(getattr(self._tls, "stack", ()))
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, cat: str = "", **args) -> SpanTimer:
+        """A context manager timing one region."""
+        return SpanTimer(self, name, cat, args)
+
+    def count(self, name: str, n: float = 1) -> None:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            counter.add(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            gauge.set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self) -> "Recorder":
+        """Make this the process's active recorder and baseline the caches.
+
+        Baselining matters on fork-start worker pools: a forked child
+        inherits the parent's warm ``lru_cache`` contents *and* hit/miss
+        totals, so only deltas from this point may be attributed to the
+        instrumented run.
+        """
+        for name, function in _LRU_CACHES.items():
+            info = function.cache_info()
+            self._lru_baseline[name] = (info.hits, info.misses)
+        set_recorder(self)
+        return self
+
+    def uninstall(self) -> None:
+        """Collect final cache deltas and deactivate."""
+        self.collect_caches()
+        if get_recorder() is self:
+            set_recorder(None)
+
+    def collect_caches(self) -> None:
+        """Fold ``lru_cache`` hit/miss deltas into counters."""
+        for name, function in _LRU_CACHES.items():
+            info = function.cache_info()
+            base_hits, base_misses = self._lru_baseline.get(name, (0, 0))
+            hits = info.hits - base_hits
+            misses = info.misses - base_misses
+            self._lru_baseline[name] = (info.hits, info.misses)
+            if hits:
+                self.count(f"cache.{name}.hit", hits)
+            if misses:
+                self.count(f"cache.{name}.miss", misses)
+
+    # -- worker snapshots --------------------------------------------------
+
+    def drain(self) -> TelemetrySnapshot:
+        """Return (and clear) everything recorded since the last drain."""
+        self.collect_caches()
+        with self._lock:
+            snapshot = TelemetrySnapshot(
+                counters={k: c.value for k, c in self._counters.items()},
+                gauges={k: g.value for k, g in self._gauges.items()},
+                histograms={
+                    k: h.as_tuple() for k, h in self._histograms.items()
+                },
+                spans=[s.as_tuple() for s in self._spans],
+            )
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._spans.clear()
+        return snapshot
+
+    def merge_snapshot(
+        self,
+        snapshot: TelemetrySnapshot,
+        rebase_to: Optional[float] = None,
+    ) -> None:
+        """Fold a worker snapshot in (order-independent).
+
+        Args:
+            snapshot: a drained worker delta.
+            rebase_to: optional timestamp on *this* recorder's clock to
+                shift the snapshot's earliest span onto.  ``perf_counter``
+                origins differ across processes; rebasing puts worker
+                spans onto the parent timeline so the trace reads as one
+                run.  Metrics are unaffected.
+        """
+        shift = 0.0
+        if rebase_to is not None and snapshot.spans:
+            shift = rebase_to - min(s[2] for s in snapshot.spans)
+        with self._lock:
+            for name, value in snapshot.counters.items():
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self._counters[name] = Counter()
+                counter.add(value)
+            for name, value in snapshot.gauges.items():
+                gauge = self._gauges.get(name)
+                if gauge is None:
+                    gauge = self._gauges[name] = Gauge(value)
+                else:
+                    gauge.merge(Gauge(value))
+            for name, data in snapshot.histograms.items():
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    self._histograms[name] = Histogram.from_tuple(data)
+                else:
+                    histogram.merge(Histogram.from_tuple(data))
+            for data in snapshot.spans:
+                span = Span.from_tuple(data)
+                span.start += shift
+                span.end += shift
+                self._spans.append(span)
+
+    # -- read access -------------------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        with self._lock:
+            counter = self._counters.get(name)
+            return counter.value if counter is not None else 0
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return {k: c.value for k, c in sorted(self._counters.items())}
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    # -- export ------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The run as a Chrome trace-event document.
+
+        Complete (``"ph": "X"``) events with microsecond timestamps
+        relative to the recorder's epoch; one pid track per process that
+        contributed spans.  Loads in Perfetto and ``about://tracing``.
+        """
+        with self._lock:
+            spans = sorted(self._spans, key=lambda s: (s.pid, s.tid, s.start))
+        events = [
+            {
+                "name": span.name,
+                "cat": span.cat or "repro",
+                "ph": "X",
+                "ts": max(0.0, (span.start - self.epoch) * 1e6),
+                "dur": max(0.0, span.duration * 1e6),
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": {str(k): _jsonable(v) for k, v in span.args.items()},
+            }
+            for span in spans
+        ]
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"schema": SCHEMA_VERSION},
+        }
+
+    def metrics(self) -> dict:
+        """The run as a flat metrics document."""
+        with self._lock:
+            return {
+                "schema": SCHEMA_VERSION,
+                "counters": {
+                    k: self._counters[k].value for k in sorted(self._counters)
+                },
+                "gauges": {
+                    k: self._gauges[k].value for k in sorted(self._gauges)
+                },
+                "histograms": {
+                    k: self._histograms[k].as_dict()
+                    for k in sorted(self._histograms)
+                },
+                "spans": {"total": len(self._spans)},
+            }
+
+    def write_trace(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh, indent=1)
+            fh.write("\n")
+
+    def write_metrics(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.metrics(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    def summary_table(self):
+        """Counters and span-time totals as a reporting table."""
+        from repro.reporting.tables import Table
+
+        table = Table("Telemetry summary", ["metric", "value"])
+        for name, value in self.counters().items():
+            table.add_row(name, f"{value:g}")
+        totals: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for span in self.spans():
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+            counts[span.name] = counts.get(span.name, 0) + 1
+        for name in sorted(totals):
+            table.add_row(
+                f"span.{name}", f"{totals[name]:.3f}s x{counts[name]}"
+            )
+        for name, histogram in sorted(self._histograms.items()):
+            table.add_row(
+                f"hist.{name}",
+                f"mean={histogram.mean:.4f} n={histogram.count}",
+            )
+        return table
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# -- the module-level funnel -------------------------------------------------
+
+_ACTIVE: Optional[Recorder] = None
+
+
+def get_recorder() -> Optional[Recorder]:
+    """The process's active recorder, or None when telemetry is off."""
+    return _ACTIVE
+
+
+def set_recorder(recorder: Optional[Recorder]) -> None:
+    global _ACTIVE
+    _ACTIVE = recorder
+
+
+def span(name: str, cat: str = "", **args):
+    """Time a region on the active recorder (no-op when telemetry is off)."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return NULL_SPAN
+    return recorder.span(name, cat, **args)
+
+
+def count(name: str, n: float = 1) -> None:
+    """Bump a counter on the active recorder (no-op when off)."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.count(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the active recorder (no-op when off)."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.observe(name, value)
+
+
+def cache_event(name: str, hit: bool) -> None:
+    """Record a hand-rolled cache's hit or miss (no-op when off)."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.count(
+            f"cache.{name}.hit" if hit else f"cache.{name}.miss"
+        )

@@ -13,6 +13,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.appmodel.android import AndroidApp
 from repro.appmodel.ios import IOSApp
+from repro.core import obs
 from repro.core.static.attribution import AttributionResult, attribute_findings
 from repro.core.static.ctlookup import CTResolution, resolve_pins
 from repro.core.static.decompile import decompile_android, decrypt_ios
@@ -52,28 +53,38 @@ class StaticPipeline:
         """Analyze one packaged app (Android or iOS)."""
         app = packaged.app
         maybe_inject(self.fault_predicate, "static", app.app_id)
-        tool = ""
-        if isinstance(packaged, AndroidApp):
-            tree = decompile_android(packaged)
-            nsc = analyze_nsc(tree)
-        elif isinstance(packaged, IOSApp):
-            outcome = decrypt_ios(packaged, self.jailbroken_device_available)
-            tree = outcome.tree
-            tool = outcome.tool
-            nsc = NSCAnalysis()  # not an Android concept
-        else:  # pragma: no cover - defensive
-            raise AnalysisError(f"unknown package type {type(packaged).__name__}")
+        with obs.span(
+            "static.app", cat="static", app=app.app_id, platform=app.platform
+        ):
+            tool = ""
+            with obs.span("static.decompile", cat="static"):
+                if isinstance(packaged, AndroidApp):
+                    tree = decompile_android(packaged)
+                    nsc = analyze_nsc(tree)
+                elif isinstance(packaged, IOSApp):
+                    outcome = decrypt_ios(
+                        packaged, self.jailbroken_device_available
+                    )
+                    tree = outcome.tree
+                    tool = outcome.tool
+                    nsc = NSCAnalysis()  # not an Android concept
+                else:  # pragma: no cover - defensive
+                    raise AnalysisError(
+                        f"unknown package type {type(packaged).__name__}"
+                    )
 
-        scan = scan_tree(tree, include_native=self.include_native)
-        ct = resolve_pins(scan.pins, self.ctlog)
-        return StaticAppReport(
-            app_id=app.app_id,
-            platform=app.platform,
-            scan=scan,
-            nsc=nsc,
-            ct=ct,
-            decryption_tool=tool,
-        )
+            with obs.span("static.scan", cat="static"):
+                scan = scan_tree(tree, include_native=self.include_native)
+            with obs.span("static.ct_lookup", cat="static"):
+                ct = resolve_pins(scan.pins, self.ctlog)
+            return StaticAppReport(
+                app_id=app.app_id,
+                platform=app.platform,
+                scan=scan,
+                nsc=nsc,
+                ct=ct,
+                decryption_tool=tool,
+            )
 
     def analyze_dataset(self, packaged_apps: Iterable) -> List[StaticAppReport]:
         return [self.analyze_app(p) for p in packaged_apps]

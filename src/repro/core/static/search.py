@@ -6,7 +6,9 @@ Three detection channels, exactly as the paper describes:
   parsed as PEM or base64-DER;
 * ``-----BEGIN CERTIFICATE-----`` delimited blobs anywhere in text files;
 * SPKI-hash tokens matching ``sha(1|256)/[a-zA-Z0-9+/=]{28,64}`` — the
-  regex covers both base64 and hex encodings;
+  28–64 length range spans the digest encodings the paper greps for:
+  base64 (28 chars for SHA-1, 44 for SHA-256) and hex (40 and 64), hex
+  being a subset of the base64 character class;
 * a strings pass over native libraries / Mach-O executables (libradare2
   in the paper) applying the same regexes.
 """
@@ -19,6 +21,7 @@ from functools import lru_cache
 from typing import List, Optional, Set, Tuple
 
 from repro.appmodel.filetree import FileNode, FileTree
+from repro.core import obs
 from repro.errors import CertificateError, EncodingError
 from repro.pki.certificate import ParsedCertificate, parse_der
 from repro.pki.pem import load_pem_certificates
@@ -26,8 +29,17 @@ from repro.util.encoding import b64decode
 
 CERT_EXTENSIONS: Tuple[str, ...] = (".der", ".pem", ".crt", ".cert", ".cer")
 
-#: The paper's hash regex, verbatim.
-HASH_PATTERN = re.compile(r"sha(1|256)/[a-zA-Z0-9+/=]{28,64}")
+#: The paper's hash regex, with boundary anchoring.  Unanchored, a pin
+#: token embedded in a longer base64 run would match only its first 64
+#: characters and surface a truncated (wrong) digest; the lookarounds
+#: reject any token whose digest run extends past the match on either
+#: side, so only cleanly delimited tokens are reported.  ``=`` stays out
+#: of the *lookbehind* class: base64 padding terminates a token, so a
+#: ``=`` before ``sha`` is a separator (``pins=sha256/...``), never the
+#: tail of a run the token belongs to.
+HASH_PATTERN = re.compile(
+    r"(?<![a-zA-Z0-9+/])sha(1|256)/[a-zA-Z0-9+/=]{28,64}(?![a-zA-Z0-9+/=])"
+)
 
 PEM_DELIMITER_PATTERN = re.compile(r"-----BEGIN CERTIFICATE-----")
 
@@ -114,6 +126,9 @@ def _parse_certificate_content(content: str) -> Tuple[ParsedCertificate, ...]:
         return (parse_der(decoded),)
     except CertificateError:
         return ()
+
+
+obs.register_cache("cert_parse", _parse_certificate_content)
 
 
 def _parse_certificate_file(node: FileNode) -> List[ParsedCertificate]:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.core import obs
 from repro.pki.certificate import Certificate
 from repro.pki.chain import CertificateChain
 from repro.util.encoding import b64encode
@@ -63,6 +64,7 @@ class CTLog:
                 Trailing base64 padding may be present or absent.
         """
         cached = self._search_cache.get(digest)
+        obs.cache_event("ctlog_search", hit=cached is not None)
         if cached is None:
             hits = self._by_digest.get(digest)
             if hits is None and not digest.endswith("="):

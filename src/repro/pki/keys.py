@@ -13,6 +13,7 @@ import hashlib
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro.core import obs
 from repro.errors import EncodingError
 from repro.util.encoding import b64encode
 from repro.util.rng import DeterministicRng
@@ -35,6 +36,10 @@ def _spki_digest(public_bytes: bytes, algorithm: str) -> bytes:
 @lru_cache(maxsize=None)
 def _pin_string(public_bytes: bytes, algorithm: str) -> str:
     return f"{algorithm}/{b64encode(_spki_digest(public_bytes, algorithm))}"
+
+
+obs.register_cache("spki_digest", _spki_digest)
+obs.register_cache("spki_pin", _pin_string)
 
 
 @dataclass(frozen=True)

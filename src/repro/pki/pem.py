@@ -9,6 +9,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import List, Tuple
 
+from repro.core import obs
 from repro.errors import CertificateError, EncodingError
 from repro.pki.certificate import ParsedCertificate, parse_der
 from repro.util.encoding import pem_unwrap
@@ -30,6 +31,9 @@ def _load_pem_certificates_cached(text: str) -> Tuple[ParsedCertificate, ...]:
         except CertificateError:
             continue
     return tuple(certificates)
+
+
+obs.register_cache("pem_parse", _load_pem_certificates_cached)
 
 
 def load_pem_certificates(text: str) -> List[ParsedCertificate]:

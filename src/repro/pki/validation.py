@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.core import obs
 from repro.errors import ChainValidationError
 from repro.pki.certificate import Certificate
 from repro.pki.chain import CertificateChain
@@ -117,10 +118,12 @@ def validate_chain(chain: CertificateChain, ctx: ValidationContext) -> Certifica
     if hit is not None:
         anchor, message, reason, window_lo, window_hi = hit
         if not ctx.check_validity or window_lo <= ctx.at_time.unix <= window_hi:
+            obs.cache_event("validate_chain", hit=True)
             if reason is None:
                 return anchor
             raise ChainValidationError(message, reason=reason)
 
+    obs.cache_event("validate_chain", hit=False)
     window_lo = max(cert.not_before.unix for cert in chain)
     window_hi = min(cert.not_after.unix for cert in chain)
     try:

@@ -13,6 +13,7 @@ import hashlib
 from functools import lru_cache
 from typing import Sequence, Tuple
 
+from repro.core import obs
 from repro.tls.ciphers import CipherSuite
 from repro.tls.records import TLSVersion
 
@@ -25,6 +26,9 @@ def _ja3_cached(
         s.name for s in suites
     )
     return hashlib.md5(material.encode("ascii")).hexdigest()
+
+
+obs.register_cache("ja3", _ja3_cached)
 
 
 def ja3_fingerprint(

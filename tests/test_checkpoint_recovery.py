@@ -1,0 +1,135 @@
+"""Tests for checkpoint-journal corruption recovery.
+
+A journal hit by mid-file corruption (bit rot, a partial write papered
+over by later appends) must resync at the next valid record, count what
+it lost, and warn — never silently truncate at the first bad byte.  The
+ordinary killed-mid-write tail stays warning-free.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core import obs
+from repro.core.exec.checkpoint import StudyCheckpoint
+
+SEED = 7
+
+
+def _unit(index):
+    return ("static", "android", "popular", (index,), None)
+
+
+def _write_journal(path, count):
+    """Write ``count`` records; return the file size after each one."""
+    sizes = []
+    with StudyCheckpoint(path, seed=SEED, sleep_s=0.0) as checkpoint:
+        for index in range(count):
+            checkpoint.record(_unit(index), [f"result-{index}"])
+            sizes.append(path.stat().st_size)
+    return sizes
+
+
+def _reload(path):
+    checkpoint = StudyCheckpoint(path, seed=SEED, sleep_s=0.0).open()
+    checkpoint.close()
+    return checkpoint
+
+
+class TestIntactJournal:
+    def test_reload_counts_and_replays(self, tmp_path):
+        path = tmp_path / "journal.ckpt"
+        _write_journal(path, 3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            checkpoint = _reload(path)
+        assert checkpoint.records_recovered == 3
+        assert checkpoint.records_discarded == 0
+        assert not checkpoint.mid_file_corruption
+        assert checkpoint.lookup(_unit(1)) == ["result-1"]
+
+
+class TestMidFileCorruption:
+    def _corrupt_middle_record(self, path, sizes):
+        """Destroy the second record's pickle framing in place."""
+        data = bytearray(path.read_bytes())
+        start = sizes[0]  # record 1 begins where record 0 ended
+        data[start : start + 2] = b"\xff\xff"
+        path.write_bytes(bytes(data))
+
+    def test_resyncs_and_warns(self, tmp_path):
+        path = tmp_path / "journal.ckpt"
+        sizes = _write_journal(path, 3)
+        self._corrupt_middle_record(path, sizes)
+        with pytest.warns(RuntimeWarning, match="corrupt record"):
+            checkpoint = _reload(path)
+        assert checkpoint.records_recovered == 2
+        assert checkpoint.records_discarded == 1
+        assert checkpoint.mid_file_corruption
+        # The records around the corrupt region survived; the destroyed
+        # one misses, so its unit will be recomputed.
+        assert checkpoint.lookup(_unit(0)) == ["result-0"]
+        assert checkpoint.lookup(_unit(1)) is None
+        assert checkpoint.lookup(_unit(2)) == ["result-2"]
+
+    def test_loss_reaches_telemetry_recorder(self, tmp_path):
+        path = tmp_path / "journal.ckpt"
+        sizes = _write_journal(path, 3)
+        self._corrupt_middle_record(path, sizes)
+        recorder = obs.Recorder().install()
+        try:
+            with pytest.warns(RuntimeWarning):
+                _reload(path)
+            assert recorder.counter_value("journal.records.discarded") == 1
+            assert recorder.counter_value("journal.records.recovered") == 2
+        finally:
+            recorder.uninstall()
+
+    def test_corrupt_region_spanning_to_eof_is_tail_like(self, tmp_path):
+        """Corruption with no valid record after it is a tail loss: counted
+        but not flagged as mid-file (nothing was recovered past it)."""
+        path = tmp_path / "journal.ckpt"
+        sizes = _write_journal(path, 2)
+        data = bytearray(path.read_bytes())
+        data[sizes[0] : sizes[0] + 2] = b"\xff\xff"
+        # Also scrub any later PROTO bytes so no resync candidate parses.
+        path.write_bytes(bytes(data[: sizes[0] + 4]))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            checkpoint = _reload(path)
+        assert checkpoint.records_recovered == 1
+        assert checkpoint.records_discarded == 1
+        assert not checkpoint.mid_file_corruption
+
+
+class TestTruncatedTail:
+    def test_truncation_discards_quietly(self, tmp_path):
+        """A record cut short by a kill is expected; no warning."""
+        path = tmp_path / "journal.ckpt"
+        sizes = _write_journal(path, 2)
+        data = path.read_bytes()
+        path.write_bytes(data[: sizes[1] - 5])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            checkpoint = _reload(path)
+        assert checkpoint.records_recovered == 1
+        assert checkpoint.records_discarded == 1
+        assert not checkpoint.mid_file_corruption
+        assert checkpoint.lookup(_unit(0)) == ["result-0"]
+        assert checkpoint.lookup(_unit(1)) is None
+
+    def test_append_after_truncation_papers_over_but_resyncs(self, tmp_path):
+        """The docstring's 'partial write that later appends papered over'
+        case: re-opening after a truncated tail appends *past* the garbage,
+        turning it into mid-file corruption — which the resync survives,
+        recovering both the old and the newly appended record."""
+        path = tmp_path / "journal.ckpt"
+        sizes = _write_journal(path, 2)
+        path.write_bytes(path.read_bytes()[: sizes[1] - 5])
+        with StudyCheckpoint(path, seed=SEED, sleep_s=0.0) as checkpoint:
+            checkpoint.record(_unit(1), ["result-1-redone"])
+        with pytest.warns(RuntimeWarning):
+            reloaded = _reload(path)
+        assert reloaded.mid_file_corruption
+        assert reloaded.lookup(_unit(0)) == ["result-0"]
+        assert reloaded.lookup(_unit(1)) == ["result-1-redone"]

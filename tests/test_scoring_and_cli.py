@@ -120,3 +120,38 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Table 3" in out
         assert "circumvention android" in out
+
+    def test_study_telemetry_outputs(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "--scale", "0.02", "study",
+                    "--trace-out", str(trace),
+                    "--metrics-out", str(metrics),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "Table 3" in captured.out  # tables unchanged by telemetry
+        assert "Telemetry summary" in captured.err
+        trace_doc = json.loads(trace.read_text())
+        assert trace_doc["otherData"]["schema"] == "repro-telemetry-v1"
+        names = {event["name"] for event in trace_doc["traceEvents"]}
+        assert "phase.static_dynamic" in names
+        assert "dynamic.app" in names
+        metrics_doc = json.loads(metrics.read_text())
+        assert metrics_doc["counters"]["exec.units.completed"] > 0
+        assert metrics_doc["counters"]["cache.validate_chain.hit"] > 0
+
+    def test_study_without_telemetry_flags_writes_nothing(self, capsys):
+        from repro.cli import main
+
+        assert main(["--scale", "0.02", "study"]) == 0
+        assert "Telemetry summary" not in capsys.readouterr().err

@@ -41,6 +41,37 @@ class TestHashRegex:
     def test_rejects_other_algorithms(self):
         assert not HASH_PATTERN.search("sha512/" + "a" * 40)
 
+    def test_quoted_pin_matches_whole_token(self):
+        pin = "sha256/" + "b" * 43 + "="
+        match = HASH_PATTERN.search(f'const-string v1, "{pin}"')
+        assert match and match.group(0) == pin
+
+    def test_no_truncated_match_inside_longer_base64_run(self):
+        """The pre-anchoring bug: a digest-class run longer than 64 chars
+        used to yield a silently truncated 64-char 'pin'.  An overlong run
+        is not a pin at all and must not match."""
+        assert not HASH_PATTERN.search("sha256/" + "c" * 65)
+        assert not HASH_PATTERN.search("sha256/" + "ab" * 40)
+
+    def test_no_match_when_preceded_by_base64_char(self):
+        token = "sha256/" + "a" * 43 + "="
+        assert not HASH_PATTERN.search("AAAA" + token)
+        # A non-digest separator restores the match.
+        assert HASH_PATTERN.search("AAAA." + token)
+
+    def test_boundary_characters_do_not_block(self):
+        token = "sha1/" + "a" * 28
+        for context in (token, f"({token})", f"x={token};", f"pin:{token}\n"):
+            match = HASH_PATTERN.search(context)
+            assert match and match.group(0) == token, context
+
+    def test_token_after_base64_padding_matches(self):
+        # Padding terminates the preceding run, so a token right after
+        # "==" is cleanly delimited.
+        token = "sha1/" + "a" * 28
+        match = HASH_PATTERN.search("QUJD==" + token)
+        assert match and match.group(0) == token
+
 
 class TestDedupKeys:
     """Dedup keys must be tuples: concatenating subject and serial makes

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Validate a telemetry export against a checked-in JSON schema.
+
+Usage:
+    python tools/validate_telemetry.py SCHEMA DOCUMENT [DOCUMENT ...]
+
+Exits 0 when every document conforms, 1 otherwise (each violation is
+printed with a JSON-pointer-style path).
+
+Implements only the subset of JSON Schema the schemas under ``schemas/``
+use — ``type``, ``required``, ``properties``, ``additionalProperties``
+(as a schema for unlisted keys), ``items``, ``enum`` and ``minimum`` —
+so the repo needs no third-party ``jsonschema`` dependency.  Keywords
+outside that subset are rejected loudly rather than ignored: a schema
+author adding ``pattern`` must extend the validator, not silently lose
+the check.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Iterator, List
+
+_SUPPORTED = {
+    "$comment",
+    "additionalProperties",
+    "enum",
+    "items",
+    "minimum",
+    "properties",
+    "required",
+    "type",
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, expected: str) -> bool:
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[expected])
+
+
+def iter_violations(value: Any, schema: dict, path: str = "$") -> Iterator[str]:
+    """Yield one message per schema violation under ``value``."""
+    unsupported = set(schema) - _SUPPORTED
+    if unsupported:
+        raise ValueError(
+            f"{path}: schema uses unsupported keyword(s) "
+            f"{sorted(unsupported)}; extend tools/validate_telemetry.py"
+        )
+
+    if "enum" in schema and value not in schema["enum"]:
+        yield f"{path}: {value!r} not in {schema['enum']!r}"
+        return
+    if "type" in schema and not _type_ok(value, schema["type"]):
+        yield (
+            f"{path}: expected {schema['type']}, "
+            f"got {type(value).__name__}"
+        )
+        return
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if not isinstance(value, bool) and value < schema["minimum"]:
+            yield f"{path}: {value!r} < minimum {schema['minimum']!r}"
+
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                yield f"{path}: missing required property {key!r}"
+        properties = schema.get("properties", {})
+        for key, subschema in properties.items():
+            if key in value:
+                yield from iter_violations(
+                    value[key], subschema, f"{path}.{key}"
+                )
+        extra_schema = schema.get("additionalProperties")
+        if isinstance(extra_schema, dict):
+            for key, item in value.items():
+                if key not in properties:
+                    yield from iter_violations(
+                        item, extra_schema, f"{path}.{key}"
+                    )
+
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            yield from iter_violations(
+                item, schema["items"], f"{path}[{index}]"
+            )
+
+
+def validate_file(schema_path: str, document_path: str) -> List[str]:
+    """All violations of ``document_path`` against ``schema_path``."""
+    with open(schema_path) as fh:
+        schema = json.load(fh)
+    with open(document_path) as fh:
+        document = json.load(fh)
+    return list(iter_violations(document, schema))
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    schema_path, documents = argv[0], argv[1:]
+    status = 0
+    for document_path in documents:
+        violations = validate_file(schema_path, document_path)
+        if violations:
+            status = 1
+            print(f"{document_path}: INVALID")
+            for violation in violations:
+                print(f"  {violation}")
+        else:
+            print(f"{document_path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
