@@ -2,10 +2,7 @@
 4 custom; iOS 238 default / 1 custom; plus one self-signed case per
 platform)."""
 
-from repro.core.analysis.certificates import (
-    classify_pinned_destinations,
-    self_signed_validity_years,
-)
+from repro.core.analysis.certificates import self_signed_validity_years
 
 
 def test_table6_pki(results, corpus, benchmark):

@@ -21,7 +21,7 @@ from repro.appmodel.behavior import DestinationUsage, NetworkBehavior
 from repro.appmodel.package import PackagingContext
 from repro.appmodel.pinning import PinMechanism, PinningSpec, PinScope
 from repro.appmodel.sdk import sdk_by_name
-from repro.core.circumvent import CircumventionPipeline, FridaSession
+from repro.core.circumvent import CircumventionPipeline
 from repro.core.dynamic import DynamicPipeline
 from repro.core.static import StaticPipeline
 from repro.corpus import CorpusConfig, CorpusGenerator

@@ -9,13 +9,17 @@ few minutes; use ``--scale`` to shrink.
 Run:
     python examples/full_study.py [--scale 1.0] [--workers 4] \
         [--resume study.ckpt] [--max-retries 2] [--out results.txt] \
+        [--store results.store] \
         [--trace-out study.trace.json] [--metrics-out study.metrics.json]
 
 An interrupted run resumes from ``--resume``'s journal; per-app failures
 never abort the study — they are retried, quarantined, and reported in
 the "error ledger" section of the output.  ``--trace-out`` /
 ``--metrics-out`` instrument the run (spans, counters, cache hit rates)
-without changing its results; the trace loads in Perfetto.
+without changing its results; the trace loads in Perfetto.  ``--store``
+makes repeated runs incremental: per-app results are published to a
+content-addressed store and a re-run with the same configuration
+recomputes only what is missing, with identical output.
 """
 
 import argparse
@@ -24,7 +28,7 @@ import sys
 
 from repro.core import obs
 from repro.core.analysis import Study
-from repro.core.exec import ExecutionPlan, SeededFaults
+from repro.core.exec import ExecutionPlan, ResultStore, SeededFaults
 from repro.core.analysis.certificates import (
     analyze_pin_positions,
     check_validation_subversion,
@@ -69,6 +73,23 @@ def main() -> None:
         "fraction of per-app work",
     )
     parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument(
+        "--store",
+        type=str,
+        default="",
+        help="content-addressed result store directory; later runs with "
+        "the same configuration recompute only what changed",
+    )
+    parser.add_argument(
+        "--no-store-read",
+        action="store_true",
+        help="do not consult --store before computing",
+    )
+    parser.add_argument(
+        "--no-store-write",
+        action="store_true",
+        help="do not publish results to --store",
+    )
     parser.add_argument(
         "--trace-out",
         type=str,
@@ -115,10 +136,22 @@ def main() -> None:
         obs.Recorder() if (args.trace_out or args.metrics_out) else None
     )
     plan = ExecutionPlan(workers=args.workers, max_retries=args.max_retries)
-    results = Study(corpus, plan=plan, fault_predicate=faults).run(
-        resume=args.resume or None, recorder=recorder
+    study = Study(corpus, plan=plan, fault_predicate=faults)
+    store = None
+    if args.store:
+        store = ResultStore(
+            args.store,
+            corpus,
+            sleep_s=study.sleep_s,
+            read=not args.no_store_read,
+            write=not args.no_store_write,
+        )
+    results = study.run(
+        resume=args.resume or None, recorder=recorder, store=store
     )
     emit(f"study: complete ({stopwatch.elapsed():.0f}s)")
+    if store is not None:
+        print(f"result store: {store.stats.describe()}", file=sys.stderr)
     emit()
 
     if recorder is not None:

@@ -13,7 +13,7 @@ directly (see :mod:`repro.core.static.decompile`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 from repro.appmodel.app import MobileApp
 from repro.appmodel.filetree import FileTree
@@ -24,7 +24,7 @@ from repro.appmodel.package import (
     ca_bundle_pem,
     pin_declaration_lines,
 )
-from repro.appmodel.pinning import PinForm, PinMechanism, PinningSpec
+from repro.appmodel.pinning import PinForm, PinMechanism
 from repro.appmodel.sdk import sdk_by_name
 from repro.errors import AppModelError
 from repro.util.encoding import b64encode

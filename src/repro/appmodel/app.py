@@ -11,7 +11,7 @@ construction that dynamic analysis exercises.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.appmodel.behavior import NetworkBehavior
 from repro.appmodel.pinning import PinForm, PinMechanism, PinningSpec
@@ -24,15 +24,7 @@ from repro.tls.ciphers import (
     TLS13_SUITES,
     WEAK_SUITES,
 )
-from repro.tls.policy import (
-    CompositePolicy,
-    NSCPinPolicy,
-    PinnedCertificatePolicy,
-    SpkiPinPolicy,
-    SystemValidationPolicy,
-    TrustAllPolicy,
-    ValidationPolicy,
-)
+from repro.tls.policy import CompositePolicy, NSCPinPolicy, PinnedCertificatePolicy, SpkiPinPolicy, SystemValidationPolicy, ValidationPolicy
 from repro.tls.records import TLSVersion
 
 #: Client suite orders per platform.  The iOS 13-era system stack still
@@ -194,7 +186,6 @@ class MobileApp:
 
         for spec in self.active_specs():
             if spec.mechanism is PinMechanism.NSC:
-                from repro.appmodel.nsc import NSCDomainConfig, NSCPin
 
                 for domain in spec.domains:
                     resolved = spec.resolved.get(domain)

@@ -11,10 +11,9 @@ PII they carry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.netsim.flow import Payload
-from repro.util.rng import DeterministicRng
 
 
 @dataclass

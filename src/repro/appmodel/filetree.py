@@ -8,8 +8,7 @@ search.
 
 from __future__ import annotations
 
-import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Pattern, Tuple
 
 from repro.errors import AppModelError

@@ -9,7 +9,7 @@ the payload file tree is only reachable after :meth:`IPA.decrypt`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.appmodel.app import MobileApp
 from repro.appmodel.filetree import FileTree

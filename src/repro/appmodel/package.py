@@ -9,9 +9,9 @@ embed certificates without pinning.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List
 
-from repro.appmodel.pinning import PinForm, PinningSpec
+from repro.appmodel.pinning import PinningSpec
 from repro.util.rng import DeterministicRng
 
 

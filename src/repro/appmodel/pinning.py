@@ -21,7 +21,7 @@ Two flags decouple the static and dynamic views, reproducing the paper's
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.errors import AppModelError

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import plistlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import AppModelError
 

@@ -17,7 +17,7 @@ SDK names and domains follow the paper's Table 7 and Section 5 examples
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.appmodel.pinning import PinForm, PinMechanism, PinScope, PinningSpec
 

@@ -20,7 +20,7 @@ from typing import List, Optional
 
 from repro.core import obs
 from repro.core.analysis import Study
-from repro.core.exec import ExecutionPlan, SeededFaults
+from repro.core.exec import ExecutionPlan, ResultStore, SeededFaults
 from repro.corpus import CorpusConfig, CorpusGenerator
 
 TABLE_CHOICES = [
@@ -114,10 +114,20 @@ def _cmd_study(args) -> int:
     # already use the monotonic clock, so the headline number must agree
     # with the trace.
     stopwatch = obs.Stopwatch()
-    results = Study(
-        corpus, plan=_plan(args), fault_predicate=_faults(args)
-    ).run(resume=args.resume, recorder=recorder)
+    study = Study(corpus, plan=_plan(args), fault_predicate=_faults(args))
+    store = None
+    if args.store:
+        store = ResultStore(
+            args.store,
+            corpus,
+            sleep_s=study.sleep_s,
+            read=not args.no_store_read,
+            write=not args.no_store_write,
+        )
+    results = study.run(resume=args.resume, recorder=recorder, store=store)
     print(f"# study completed in {stopwatch.elapsed():.0f}s", file=sys.stderr)
+    if store is not None:
+        print(f"# result store: {store.stats.describe()}", file=sys.stderr)
     if recorder is not None:
         if args.trace_out:
             recorder.write_trace(args.trace_out)
@@ -227,6 +237,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="checkpoint journal: completed work units are recorded here "
         "and replayed on a later run with the same seed/scale",
+    )
+    study.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result store: per-app results are "
+        "published here and re-used by later runs with the same "
+        "configuration, which then recompute only what changed",
+    )
+    study.add_argument(
+        "--no-store-read",
+        action="store_true",
+        help="do not consult --store before computing (repopulate only)",
+    )
+    study.add_argument(
+        "--no-store-write",
+        action="store_true",
+        help="do not publish results to --store (read-only consumer)",
     )
     study.add_argument(
         "--trace-out",

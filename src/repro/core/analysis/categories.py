@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List
 
 from repro.core.dynamic.pipeline import DynamicAppResult
 from repro.corpus.datasets import AppCorpus

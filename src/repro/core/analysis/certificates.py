@@ -16,17 +16,15 @@ Four questions about how pinning is implemented:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.dynamic.pipeline import DynamicAppResult
 from repro.core.static.report import StaticAppReport
 from repro.corpus.datasets import AppCorpus
-from repro.pki.chain import CertificateChain
 from repro.pki.store import RootStore
 from repro.pki.validation import classify_pki
 from repro.reporting.tables import Table
-from repro.util.encoding import b64encode
 from repro.util.simtime import STUDY_START, Timestamp
 
 

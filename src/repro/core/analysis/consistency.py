@@ -17,8 +17,8 @@ are computed here too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Set, Tuple
 
 from repro.core.dynamic.pipeline import DynamicAppResult
 from repro.reporting.tables import Table, percent

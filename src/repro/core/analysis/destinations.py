@@ -9,8 +9,8 @@ information".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.dynamic.pipeline import DynamicAppResult
 from repro.corpus.datasets import AppCorpus

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable
 
 from repro.core.static.attribution import AttributionResult
 from repro.core.static.pipeline import StaticPipeline

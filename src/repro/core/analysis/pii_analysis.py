@@ -7,7 +7,7 @@ where default validation accepted the proxy certificate.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 from repro.core.circumvent.pipeline import CircumventionResult
 from repro.core.dynamic.pipeline import DynamicAppResult

@@ -7,7 +7,7 @@ our numbers next to prior work's NSC-only and dynamic-only techniques.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.dynamic.pipeline import DynamicAppResult
 from repro.core.static.report import StaticAppReport

@@ -9,8 +9,8 @@ dynamic results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Set
 
 from repro.core.dynamic.pipeline import DynamicAppResult
 from repro.corpus.datasets import AppCorpus

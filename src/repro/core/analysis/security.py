@@ -14,7 +14,7 @@ client property visible without interception.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.dynamic.pipeline import DynamicAppResult
 from repro.reporting.tables import Table, percent

@@ -14,7 +14,7 @@ the pinned destination.  Acceptance ⇒ vulnerable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.core.dynamic.pipeline import DynamicAppResult
 from repro.corpus.datasets import AppCorpus

@@ -28,6 +28,7 @@ from repro.core.dynamic.pipeline import DynamicAppResult, DynamicPipeline
 from repro.core.exec import (
     ExecutionEngine,
     ExecutionPlan,
+    ResultStore,
     StudyCheckpoint,
     UnitFailure,
 )
@@ -338,6 +339,9 @@ class Study:
         self,
         resume: Optional[str] = None,
         recorder: Optional["obs_mod.Recorder"] = None,
+        store=None,
+        store_read: bool = True,
+        store_write: bool = True,
     ) -> StudyResults:
         """Execute every pipeline stage; deterministic for a given corpus
         and identical for every execution plan.
@@ -360,6 +364,19 @@ class Study:
                 processes included), and the recorder is attached to the
                 results as ``StudyResults.telemetry``.  Results are
                 bit-for-bit identical with or without a recorder.
+            store: optional result-store directory (or a pre-built
+                :class:`~repro.core.exec.resultstore.ResultStore`).
+                Work units whose per-app results are already stored are
+                composed from the store instead of recomputed; completed
+                units are published back.  A warm re-run with the same
+                configuration recomputes nothing and still produces
+                bit-for-bit identical results; any configuration change
+                (seed, scale, capture window, code version) changes the
+                fingerprints and invalidates cleanly.
+            store_read: consult the store before computing (ignored
+                without ``store``; ``False`` forces a repopulating run).
+            store_write: publish computed results (ignored without
+                ``store``).
         """
         checkpoint: Optional[StudyCheckpoint] = None
         if recorder is not None:
@@ -367,6 +384,15 @@ class Study:
             # are initialized with telemetry on.
             self.engine.recorder = recorder
             recorder.install()
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(
+                store,
+                self.corpus,
+                sleep_s=self.sleep_s,
+                read=store_read,
+                write=store_write,
+            )
+        self.engine.store = store
         if resume is not None:
             checkpoint = StudyCheckpoint(
                 resume, self.corpus.seed, self.sleep_s
@@ -379,6 +405,7 @@ class Study:
             if checkpoint is not None:
                 checkpoint.close()
             self.engine.close()
+            self.engine.store = None
             if recorder is not None:
                 recorder.uninstall()
                 self.engine.recorder = None

@@ -10,10 +10,10 @@ success rates are an emergent property of the mechanism mix.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from repro.core import obs
-from repro.core.circumvent.frida import FridaSession, InstrumentationOutcome
+from repro.core.circumvent.frida import FridaSession
 from repro.core.dynamic.pipeline import DynamicAppResult, DynamicPipeline
 from repro.core.exec.faults import maybe_inject
 from repro.device.automation import RunConfig

@@ -14,8 +14,8 @@ that quantifies exactly that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
 
 from repro.core.dynamic.classify import connection_failed, connection_used
 from repro.netsim.capture import TrafficCapture

@@ -14,9 +14,8 @@ enters the capture.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
-from repro.appmodel.android import AndroidApp
 from repro.appmodel.ios import IOSApp
 from repro.core import obs
 from repro.core.dynamic.background import ios_excluded_destinations

@@ -7,7 +7,10 @@ runs study work units under a plan with results identical to a serial
 run, degrading per-app failures into a
 :class:`~repro.core.exec.faults.UnitFailure` ledger;
 :class:`~repro.core.exec.checkpoint.StudyCheckpoint` journals completed
-units to disk so an interrupted run can resume.
+units to disk so an interrupted run can resume;
+:class:`~repro.core.exec.resultstore.ResultStore` is the cross-run memo —
+a content-addressed, on-disk store of per-app results that makes
+repeated runs warm-start, recomputing only fingerprint misses.
 :mod:`repro.core.exec.faults` provides deterministic fault injection for
 testing all of it without real flakiness.
 """
@@ -21,13 +24,16 @@ from repro.core.exec.faults import (
     UnitFailure,
 )
 from repro.core.exec.plan import ExecutionPlan
+from repro.core.exec.resultstore import ResultStore, StoreStats
 
 __all__ = [
     "ExecutionEngine",
     "ExecutionOutcome",
     "ExecutionPlan",
     "InjectedFault",
+    "ResultStore",
     "SeededFaults",
+    "StoreStats",
     "StudyCheckpoint",
     "TransientFaults",
     "UnitFailure",

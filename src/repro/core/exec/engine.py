@@ -37,6 +37,20 @@ bit-for-bit identical to a fault-free run — the ledger is the only
 difference.  An optional
 :class:`~repro.core.exec.checkpoint.StudyCheckpoint` journals completed
 units so a killed run can resume where it left off.
+
+Incremental execution
+---------------------
+
+An optional :class:`~repro.core.exec.resultstore.ResultStore` makes
+repeated runs incremental: before dispatching a unit the engine asks the
+store for it (every app's entry must hit), and every completed unit is
+published back, one content-addressed entry per app.  Because store keys
+fingerprint exactly the inputs a result is a function of — corpus
+configuration, capture window, stage, app id, per-app stage config, and
+a code-version salt — a warm run recomputes only fingerprint misses and
+still merges to bit-for-bit the same study as a cold run, at any worker
+count.  The checkpoint journal remains the intra-run safety net (scoped
+to one run configuration); the store is the cross-run memo.
 """
 
 from __future__ import annotations
@@ -44,12 +58,13 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core import obs
 from repro.core.exec.checkpoint import StudyCheckpoint, split_unit
 from repro.core.exec.faults import FaultPredicate, InjectedFault, UnitFailure
 from repro.core.exec.plan import ExecutionPlan
+from repro.core.exec.resultstore import ResultStore
 
 #: A work unit: ``(kind, platform, dataset, indices, extra)``.  ``indices``
 #: are positions inside ``corpus.dataset(platform, dataset)``.  ``extra``
@@ -232,6 +247,11 @@ class ExecutionEngine:
             replays.  Must be set before the worker pool is first used
             (pool initialisation bakes the telemetry flag in).  Results
             are bit-for-bit identical with and without a recorder.
+        store: optional :class:`~repro.core.exec.resultstore.ResultStore`.
+            When set, resilient execution consults it before dispatching
+            each unit (a full per-app hit skips the unit entirely) and
+            publishes completed units back.  Results are bit-for-bit
+            identical with and without a store, warm or cold.
     """
 
     def __init__(
@@ -242,12 +262,14 @@ class ExecutionEngine:
         pipelines: Optional[tuple] = None,
         fault_predicate: Optional[FaultPredicate] = None,
         recorder: Optional[obs.Recorder] = None,
+        store: Optional[ResultStore] = None,
     ):
         self.corpus = corpus
         self.plan = plan or ExecutionPlan()
         self.sleep_s = sleep_s
         self.fault_predicate = fault_predicate
         self.recorder = recorder
+        self.store = store
         self._state = _build_state(corpus, sleep_s, fault_predicate)
         if pipelines is not None:
             static, dynamic, circumvent = pipelines
@@ -289,6 +311,11 @@ class ExecutionEngine:
     def _count(self, name: str, n: float = 1) -> None:
         if self.recorder is not None:
             self.recorder.count(name, n)
+
+    def _publish(self, unit: WorkUnit, result: list) -> None:
+        """Publish one completed unit to the result store, if attached."""
+        if self.store is not None:
+            self.store.publish_unit(unit, result)
 
     def _entry(self):
         """The worker entry point matching the telemetry mode."""
@@ -425,8 +452,11 @@ class ExecutionEngine:
 
         Journaled units (when ``checkpoint`` is given) are replayed
         without executing; completed units are journaled as they finish.
-        Never raises for per-unit failures — they land in the outcome's
-        ledger.  Unexpected scheduler-level errors (and interrupts) still
+        With a result store attached, units whose every app is already
+        stored are composed from the store instead of dispatched, and
+        completed units are published back for later runs.  Never raises
+        for per-unit failures — they land in the outcome's ledger.
+        Unexpected scheduler-level errors (and interrupts) still
         propagate, after the pool is shut down.
         """
         units = list(units)
@@ -438,6 +468,19 @@ class ExecutionEngine:
             if cached is not None:
                 unit_results[position] = cached
                 self._count("journal.units.skipped")
+                continue
+            stored = (
+                self.store.lookup_unit(unit)
+                if self.store is not None
+                else None
+            )
+            if stored is not None:
+                # A store hit also enters the journal so an interrupted
+                # warm run resumes without re-consulting the store.
+                if checkpoint is not None:
+                    checkpoint.record(unit, stored)
+                unit_results[position] = stored
+                self._count("store.units.skipped")
             else:
                 pending.append((position, unit))
 
@@ -463,6 +506,7 @@ class ExecutionEngine:
                     else:
                         if checkpoint is not None:
                             checkpoint.record(unit, result)
+                        self._publish(unit, result)
                         unit_results[position] = result
                         self._count("exec.units.completed")
         except BaseException:
@@ -559,6 +603,7 @@ class ExecutionEngine:
             else:
                 if checkpoint is not None:
                     checkpoint.record(unit, result)
+                self._publish(unit, result)
                 self._count("exec.units.completed")
                 return result
         else:
@@ -568,6 +613,7 @@ class ExecutionEngine:
         if result is not None:
             if checkpoint is not None:
                 checkpoint.record(unit, result)
+            self._publish(unit, result)
             self._count("exec.units.completed")
             self._count("exec.units.recovered_by_retry")
             return result

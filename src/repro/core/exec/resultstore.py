@@ -1,0 +1,420 @@
+"""Content-addressed result store: warm-start re-runs of the study.
+
+The measurement pipeline is re-run constantly — per dataset, per
+ablation, per platform — and every run used to recompute all ~5,000 apps
+from scratch even when nothing about an app or its configuration had
+changed.  The :class:`ResultStore` fixes that: an on-disk store of
+per-app pipeline results, each filed under a deterministic
+**fingerprint** of everything the result is a function of.  A repeated
+run looks every work unit up before dispatching it and only recomputes
+fingerprint misses, while the merged study stays bit-for-bit identical
+to a cold run at any worker count.
+
+Fingerprint composition
+-----------------------
+
+A result is valid for reuse exactly when all of its inputs are
+unchanged, so the fingerprint is a SHA-256 over:
+
+* the **store schema version** and **code salt** (:data:`CODE_SALT`) —
+  bumped whenever pipeline semantics or result schemas change, so stale
+  entries from an older checkout can never hit;
+* the **corpus fingerprint** — seed plus per-dataset sizes.  Per-app
+  results are *not* reusable across corpus configurations: the CT log,
+  endpoint registry and root stores are built from the whole corpus, so
+  a ``--scale`` bump invalidates everything by design;
+* the **capture window** (``sleep_s``) every dynamic result depends on;
+* the **pipeline stage** (``static`` / ``dynamic`` / ``circumvent``),
+  the app's platform, dataset, and **app id**;
+* the **per-app stage config** — the pre-launch wait for dynamic runs
+  (the Common-iOS re-run stores separately from the initial pass), the
+  sorted pinned-destination set for circumvention sweeps.
+
+Chunking, worker count, retries and telemetry are deliberately absent:
+they cannot influence a result (the engine's determinism contract), so
+a warm run hits regardless of how the cold run was scheduled.
+
+Store layout
+------------
+
+::
+
+    store/
+      store.json             # informational manifest (version, salt)
+      objects/<ff>/<fingerprint>.pkl
+
+Each entry is a self-describing pickled envelope
+``(magic, version, fingerprint, meta, payload_sha256, payload)`` where
+``payload`` is the pickled result and ``meta`` carries plain-data
+context (stage, platform, dataset, app id, config, and a small summary
+— pinned verdict and destinations — that lets ``tools/diff_runs.py``
+diff two stores without importing this package).
+
+Corruption contract
+-------------------
+
+A truncated or tampered entry must fall back to recompute with a
+``RuntimeWarning`` — never a wrong result.  Every read re-hashes the
+payload against the stored digest and cross-checks the envelope
+fingerprint against the file name; any mismatch (or any unpickling
+error) invalidates the entry: it is counted, warned about, deleted, and
+treated as a miss so the engine recomputes and republishes it.  Writes
+go through a temp file and ``os.replace`` so a killed run never leaves
+a half-written entry under a valid name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core import obs
+
+_MAGIC = "repro-result-store"
+_ENTRY_MAGIC = "repro-result-entry"
+_VERSION = 1
+
+#: Code/schema version salt.  Bump on any change to pipeline semantics or
+#: result dataclass schemas: old entries stop hitting instead of feeding
+#: stale results into a new checkout.
+CODE_SALT = "pin-study-results-v1"
+
+
+def corpus_fingerprint(corpus) -> str:
+    """Fingerprint of the corpus configuration a result depends on.
+
+    Seed plus per-dataset sizes: the two inputs that decide everything
+    the generator builds (PKI, stores, endpoints, apps).  Two corpora
+    with the same fingerprint are identical object graphs.
+    """
+    shape = tuple(
+        (key, len(apps)) for key, apps in sorted(corpus.datasets.items())
+    )
+    identity = repr((int(corpus.seed), shape))
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+
+def normalize_extra(stage: str, extra) -> object:
+    """Canonical per-app stage config, as it enters the fingerprint.
+
+    Dynamic runs carry a scalar pre-launch wait; circumvention sweeps a
+    pinned-destination set (order must not matter); static scans nothing.
+    """
+    if stage == "dynamic":
+        return float(extra or 0.0)
+    if stage == "circumvent":
+        return tuple(sorted(extra))
+    return None
+
+
+def app_fingerprint(
+    corpus_fp: str,
+    sleep_s: float,
+    stage: str,
+    platform: str,
+    dataset: str,
+    app_id: str,
+    extra,
+) -> str:
+    """The content address of one app's result for one stage config."""
+    identity = repr(
+        (
+            _VERSION,
+            CODE_SALT,
+            corpus_fp,
+            float(sleep_s),
+            stage,
+            platform,
+            dataset,
+            app_id,
+            normalize_extra(stage, extra),
+        )
+    )
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+
+def summarize_result(result) -> dict:
+    """Plain-data summary embedded in each entry's metadata.
+
+    Duck-typed over the three result classes so ``tools/diff_runs.py``
+    can report *which apps flipped pinned/unpinned and why* without
+    unpickling payloads (or importing this package at all).
+    """
+    summary: dict = {}
+    pins = getattr(result, "pins", None)
+    if callable(pins):
+        summary["pinned"] = bool(result.pins())
+    pinned = getattr(result, "pinned_destinations", None)
+    if pinned is not None:
+        summary["pinned_destinations"] = sorted(pinned)
+    bypassed = getattr(result, "bypassed_destinations", None)
+    if bypassed is not None:
+        summary["bypassed_destinations"] = sorted(bypassed)
+        summary["resistant_destinations"] = sorted(
+            getattr(result, "resistant_destinations", ())
+        )
+    if hasattr(result, "embedded_material"):
+        summary["embedded_material"] = bool(result.embedded_material)
+        summary["nsc_pins"] = bool(result.nsc_pins)
+    return summary
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/invalidation tallies for one store handle's lifetime."""
+
+    unit_hits: int = 0
+    unit_misses: int = 0
+    app_hits: int = 0
+    app_misses: int = 0
+    published: int = 0
+    invalidated: int = 0
+
+    @property
+    def unit_hit_rate(self) -> float:
+        total = self.unit_hits + self.unit_misses
+        return self.unit_hits / total if total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.unit_hits} unit hit(s) / {self.unit_misses} miss(es) "
+            f"(hit rate {self.unit_hit_rate:.1%}), "
+            f"{self.published} entr(ies) published, "
+            f"{self.invalidated} invalidated"
+        )
+
+
+class ResultStore:
+    """On-disk, content-addressed store of per-app pipeline results.
+
+    Args:
+        root: store directory (created on first publish).
+        corpus: the corpus this handle serves; its fingerprint enters
+            every key, so a store directory may safely hold entries from
+            many configurations side by side.
+        sleep_s: the dynamic capture window (results depend on it).
+        read: consult the store before computing (``--no-store-read``
+            turns this off to force a repopulating run).
+        write: publish computed results (``--no-store-write`` turns this
+            off for a read-only consumer).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        corpus,
+        sleep_s: float = 30.0,
+        read: bool = True,
+        write: bool = True,
+    ):
+        self.root = Path(root)
+        self.corpus = corpus
+        self.corpus_fp = corpus_fingerprint(corpus)
+        self.sleep_s = float(sleep_s)
+        self.read = bool(read)
+        self.write = bool(write)
+        self.stats = StoreStats()
+
+    # -- layout ------------------------------------------------------------
+
+    def entry_path(self, fingerprint: str) -> Path:
+        return self.root / "objects" / fingerprint[:2] / f"{fingerprint}.pkl"
+
+    def _ensure_layout(self) -> None:
+        if not (self.root / "store.json").exists():
+            self.root.mkdir(parents=True, exist_ok=True)
+            manifest = {
+                "magic": _MAGIC,
+                "version": _VERSION,
+                "salt": CODE_SALT,
+            }
+            with open(self.root / "store.json", "w") as fh:
+                json.dump(manifest, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+
+    def fingerprint_for(
+        self, stage: str, platform: str, dataset: str, app_id: str, extra
+    ) -> str:
+        return app_fingerprint(
+            self.corpus_fp,
+            self.sleep_s,
+            stage,
+            platform,
+            dataset,
+            app_id,
+            extra,
+        )
+
+    # -- per-app access ----------------------------------------------------
+
+    def lookup_app(
+        self, stage: str, platform: str, dataset: str, app_id: str, extra
+    ):
+        """The stored result for one app under one stage config, or None.
+
+        Any corruption — unreadable pickle, digest mismatch, envelope
+        fingerprint not matching the file name — invalidates the entry
+        (warned, counted, deleted) and reads as a miss, so the caller
+        recomputes instead of trusting a damaged payload.
+        """
+        if not self.read:
+            return None
+        fingerprint = self.fingerprint_for(
+            stage, platform, dataset, app_id, extra
+        )
+        path = self.entry_path(fingerprint)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.app_misses += 1
+            obs.count("store.apps.miss")
+            return None
+        payload = self._decode_entry(blob, fingerprint, path)
+        if payload is None:
+            self.stats.app_misses += 1
+            obs.count("store.apps.miss")
+            return None
+        self.stats.app_hits += 1
+        obs.count("store.apps.hit")
+        return payload
+
+    def _decode_entry(self, blob: bytes, fingerprint: str, path: Path):
+        """Validate and unwrap one entry; invalidate on any defect."""
+        try:
+            envelope = pickle.loads(blob)
+            magic, version, stored_fp, _meta, digest, payload_blob = envelope
+            if magic != _ENTRY_MAGIC or version != _VERSION:
+                raise ValueError("not a result-store entry")
+            if stored_fp != fingerprint:
+                raise ValueError("entry fingerprint does not match its path")
+            if hashlib.sha256(payload_blob).hexdigest() != digest:
+                raise ValueError("payload digest mismatch")
+            return pickle.loads(payload_blob)
+        except Exception as exc:
+            self._invalidate(path, exc)
+            return None
+
+    def _invalidate(self, path: Path, reason: Exception) -> None:
+        self.stats.invalidated += 1
+        obs.count("store.entries.invalidated")
+        warnings.warn(
+            f"result store entry {path} is corrupt ({reason}); the entry "
+            "was discarded and its unit will be recomputed",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def publish_app(
+        self,
+        stage: str,
+        platform: str,
+        dataset: str,
+        app_id: str,
+        extra,
+        result,
+    ) -> None:
+        """File one app's result under its fingerprint (atomic, idempotent)."""
+        if not self.write:
+            return
+        fingerprint = self.fingerprint_for(
+            stage, platform, dataset, app_id, extra
+        )
+        path = self.entry_path(fingerprint)
+        if path.exists():
+            return
+        self._ensure_layout()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "stage": stage,
+            "platform": platform,
+            "dataset": dataset,
+            "app_id": app_id,
+            "sleep_s": self.sleep_s,
+            "extra": repr(normalize_extra(stage, extra)),
+            "corpus": self.corpus_fp,
+            "salt": CODE_SALT,
+            "summary": summarize_result(result),
+        }
+        payload_blob = pickle.dumps(result)
+        envelope = (
+            _ENTRY_MAGIC,
+            _VERSION,
+            fingerprint,
+            meta,
+            hashlib.sha256(payload_blob).hexdigest(),
+            payload_blob,
+        )
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(envelope, fh)
+        os.replace(tmp, path)
+        self.stats.published += 1
+        obs.count("store.apps.published")
+
+    # -- unit-level access (the engine's interface) ------------------------
+
+    def _unit_apps(self, unit) -> List[tuple]:
+        """``(app_id, per_app_extra)`` for each index of one work unit."""
+        kind, platform, dataset, indices, extra = unit
+        apps = self.corpus.dataset(platform, dataset)
+        if kind == "circumvent":
+            extras = list(extra)
+        else:
+            extras = [extra] * len(indices)
+        return [
+            (apps[index].app.app_id, extras[position])
+            for position, index in enumerate(indices)
+        ]
+
+    def lookup_unit(self, unit) -> Optional[list]:
+        """The composed stored result for one work unit, or None.
+
+        All of the unit's apps must hit — a partial unit is a unit miss
+        and is recomputed whole (and republished per app, so the next
+        warm run hits).
+        """
+        if not self.read:
+            return None
+        kind, platform, dataset, _indices, _extra = unit
+        results = []
+        for app_id, app_extra in self._unit_apps(unit):
+            result = self.lookup_app(
+                kind, platform, dataset, app_id, app_extra
+            )
+            if result is None:
+                self.stats.unit_misses += 1
+                obs.count("store.units.miss")
+                return None
+            results.append(result)
+        self.stats.unit_hits += 1
+        obs.count("store.units.hit")
+        return results
+
+    def publish_unit(self, unit, results: list) -> None:
+        """File one completed unit's results, one entry per app.
+
+        Only a complete unit is publishable: a quarantined unit whose
+        survivors were merged around abandoned apps no longer aligns
+        with its index list (its solo re-runs published themselves).
+        """
+        if not self.write:
+            return
+        kind, platform, dataset, indices, _extra = unit
+        if len(results) != len(indices):
+            return
+        for (app_id, app_extra), result in zip(
+            self._unit_apps(unit), results
+        ):
+            self.publish_app(
+                kind, platform, dataset, app_id, app_extra, result
+            )

@@ -8,7 +8,7 @@ chi-square test of independence per PII type and highlights p < 0.05.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.pii.detector import PIIDetector
 from repro.device.identifiers import PII_TYPES

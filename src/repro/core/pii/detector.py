@@ -9,11 +9,10 @@ city and latitude/longitude.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Set
 
 from repro.device.identifiers import DeviceIdentifiers, PII_TYPES
-from repro.errors import AnalysisError
 from repro.netsim.flow import FlowRecord
 
 

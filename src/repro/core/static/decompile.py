@@ -9,7 +9,6 @@ launch the app; Frida-iOS-Dump is the fallback.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.appmodel.android import AndroidApp
 from repro.appmodel.filetree import FileTree

@@ -9,7 +9,7 @@ methods" against "the method used by prior work" on identical datasets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.appmodel.filetree import FileTree
 from repro.appmodel.manifest import AndroidManifest

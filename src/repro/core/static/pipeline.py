@@ -8,14 +8,13 @@ inventories).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, List
 
 from repro.appmodel.android import AndroidApp
 from repro.appmodel.ios import IOSApp
 from repro.core import obs
 from repro.core.static.attribution import AttributionResult, attribute_findings
-from repro.core.static.ctlookup import CTResolution, resolve_pins
+from repro.core.static.ctlookup import resolve_pins
 from repro.core.static.decompile import decompile_android, decrypt_ios
 from repro.core.static.nsc_analysis import NSCAnalysis, analyze_nsc
 from repro.core.static.report import StaticAppReport

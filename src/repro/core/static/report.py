@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from dataclasses import dataclass
+from typing import Set
 
 from repro.core.static.ctlookup import CTResolution
 from repro.core.static.nsc_analysis import NSCAnalysis

@@ -18,7 +18,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.appmodel.filetree import FileNode, FileTree
 from repro.core import obs

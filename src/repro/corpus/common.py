@@ -24,9 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.appmodel.pinning import PinMechanism
 from repro.corpus.categories import draw_category, pinning_multiplier
-from repro.corpus.factory import AppPlan, ExtraUsage
+from repro.corpus.factory import AppPlan
 from repro.corpus.naming import app_identity
 from repro.corpus.profiles import (
     COMMON_CONSISTENCY,

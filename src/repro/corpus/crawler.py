@@ -10,7 +10,7 @@ downloaded packages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.corpus.datasets import AppCorpus, PackagedApp
 from repro.corpus.stores import (

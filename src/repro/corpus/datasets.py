@@ -10,10 +10,9 @@ truth) and the platform package.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.appmodel.android import AndroidApp
-from repro.appmodel.app import MobileApp
 from repro.appmodel.ios import IOSApp
 from repro.errors import CorpusError
 from repro.pki.authority import PKIHierarchy

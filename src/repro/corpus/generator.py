@@ -9,14 +9,12 @@ for small test corpora.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.appmodel.android import build_android_package
 from repro.appmodel.ios import build_ios_package
 from repro.appmodel.package import PackagingContext
-from repro.appmodel.pinning import PinMechanism
 from repro.appmodel.sdk import SDK_CATALOG, ThirdPartySDK, sdks_for_platform
 from repro.corpus.categories import draw_category, pinning_multiplier
 from repro.corpus.common import CommonPairPlanner
@@ -25,7 +23,6 @@ from repro.corpus.factory import AppFactory, AppPlan
 from repro.corpus.naming import GENERIC_THIRD_PARTY_HOSTS, app_identity
 from repro.corpus.profiles import DATASET_PROFILES, PINNING_STYLES
 from repro.device.ios import APPLE_BACKGROUND_HOSTS
-from repro.errors import CorpusError
 from repro.pki.authority import PKIHierarchy
 from repro.pki.store import StoreCatalog
 from repro.servers.registry import EndpointRegistry

@@ -9,7 +9,7 @@ encode.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.appmodel.pinning import PinForm, PinMechanism, PinScope

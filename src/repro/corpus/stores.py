@@ -14,8 +14,8 @@ gauntlet) is reproducible and testable, not just narrated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.corpus.datasets import AppCorpus, PackagedApp
 from repro.errors import CorpusError, DeviceError

@@ -12,7 +12,7 @@ differential detector compares.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.appmodel.behavior import DestinationUsage

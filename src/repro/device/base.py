@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.device.identifiers import DeviceIdentifiers
 from repro.pki.certificate import Certificate
 from repro.pki.store import RootStore
-from repro.util.rng import DeterministicRng
 
 
 @dataclass

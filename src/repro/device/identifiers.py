@@ -10,7 +10,7 @@ traffic for them (Section 4.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.util.rng import DeterministicRng

@@ -14,7 +14,7 @@ leaks nothing an on-path observer would not have had.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.errors import EncodingError
 from repro.netsim.capture import TrafficCapture

@@ -11,7 +11,7 @@ score detector precision/recall; analysis code never reads them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from repro.errors import AnalysisError
 from repro.tls.ciphers import CipherSuite

@@ -9,7 +9,7 @@ read their traffic; pinned clients reject it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.pki.authority import CertificateAuthority
 from repro.pki.certificate import Certificate

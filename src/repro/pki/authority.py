@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CertificateError

@@ -11,8 +11,8 @@ packages.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.errors import CertificateError
 from repro.pki.keys import KeyPair

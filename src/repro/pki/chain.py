@@ -9,7 +9,7 @@ provides both views.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import CertificateError
 from repro.pki.certificate import Certificate

@@ -12,7 +12,7 @@ pins resolved to certificates (Section 5.3).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core import obs
 from repro.pki.certificate import Certificate

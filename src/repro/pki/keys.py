@@ -10,7 +10,7 @@ the paper's static analysis greps for with
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core import obs

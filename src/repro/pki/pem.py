@@ -10,7 +10,7 @@ from functools import lru_cache
 from typing import List, Tuple
 
 from repro.core import obs
-from repro.errors import CertificateError, EncodingError
+from repro.errors import CertificateError
 from repro.pki.certificate import ParsedCertificate, parse_der
 from repro.util.encoding import pem_unwrap
 

@@ -9,8 +9,8 @@ from one :class:`repro.pki.authority.PKIHierarchy` with realistic overlaps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional
 
 from repro.pki.authority import PKIHierarchy
 from repro.pki.certificate import Certificate

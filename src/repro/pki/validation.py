@@ -13,8 +13,8 @@ This module implements the client-side checks the paper's TLS layer needs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core import obs
 from repro.errors import ChainValidationError

@@ -7,7 +7,7 @@ harness can print the same rows the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import List
 
 
 @dataclass

@@ -8,13 +8,13 @@ key reuse) to exercise the Section 5.3.3 renewal behaviours.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.pki.authority import PKIHierarchy
 from repro.pki.chain import CertificateChain
 from repro.pki.keys import KeyPair
-from repro.tls.ciphers import CipherSuite, MODERN_SUITES, suites_for_version
+from repro.tls.ciphers import CipherSuite, MODERN_SUITES
 from repro.tls.records import TLSVersion
 from repro.util.rng import DeterministicRng
 

@@ -10,7 +10,6 @@ directory lookup first, certificate-subject organisation as fallback.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.pki.chain import CertificateChain

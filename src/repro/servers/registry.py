@@ -8,7 +8,7 @@ to the CT log, keeping crt.sh-style lookups realistic.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, Sequence
 
 from repro.errors import CorpusError
 from repro.pki.authority import CertificateAuthority, PKIHierarchy

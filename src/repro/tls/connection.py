@@ -14,7 +14,7 @@ The traces reproduce the confounders the paper had to handle:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.tls.handshake import HandshakeOutcome
 from repro.tls.records import (

@@ -12,8 +12,8 @@ fields (validation failure reason) that only tests read.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.errors import ChainValidationError
 from repro.pki.chain import CertificateChain

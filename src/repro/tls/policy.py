@@ -26,7 +26,7 @@ variant explicitly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence
 
 from repro.errors import ChainValidationError

@@ -1,6 +1,5 @@
 """Unit tests for certificate-level analyses (Table 6 / Section 5.3)."""
 
-import pytest
 
 from repro.core.analysis.certificates import (
     PKIClassification,

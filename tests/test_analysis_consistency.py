@@ -2,15 +2,7 @@
 
 import pytest
 
-from repro.core.analysis.consistency import (
-    ConsistencyClassification,
-    PairObservation,
-    classify_pair,
-    figure2_table,
-    figure3_table,
-    figure4_tables,
-    summarize_pairs,
-)
+from repro.core.analysis.consistency import PairObservation, classify_pair, figure2_table, figure3_table, figure4_tables, summarize_pairs
 
 
 def obs(ap=(), au=(), ip=(), iu=()):

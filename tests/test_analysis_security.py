@@ -1,6 +1,5 @@
 """Unit tests for the cipher-security analysis (Table 8)."""
 
-import pytest
 
 from repro.core.analysis.security import analyze_ciphers
 from repro.core.dynamic.pipeline import DynamicAppResult

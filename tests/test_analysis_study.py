@@ -4,7 +4,6 @@ Runs once per session on the small corpus (session fixture) and checks
 every table/figure computation for the *shapes* the paper reports.
 """
 
-import pytest
 
 from repro.corpus.profiles import DATASET_PROFILES
 

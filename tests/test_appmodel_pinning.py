@@ -8,7 +8,7 @@ from repro.appmodel.pinning import (
     PinningSpec,
     PinScope,
 )
-from repro.appmodel.sdk import SDK_CATALOG, sdk_by_name, sdks_for_platform
+from repro.appmodel.sdk import sdk_by_name, sdks_for_platform
 from repro.errors import AppModelError
 from repro.pki.authority import PKIHierarchy
 from repro.util.rng import DeterministicRng

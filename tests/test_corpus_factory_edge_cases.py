@@ -1,10 +1,8 @@
 """Factory and planner edge cases: pin-everything, lax hostname checks,
 NSC misconfigurations, Common-pair class wiring at paper scale."""
 
-import pytest
 
 from repro.appmodel.pinning import PinMechanism
-from repro.corpus import CorpusConfig, CorpusGenerator
 from repro.corpus.common import consistency_class_counts
 
 

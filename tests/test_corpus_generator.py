@@ -95,7 +95,6 @@ class TestCalibration:
                     assert usage.start_offset_s <= 20.0
 
     def test_random_android_pinners_have_no_pinning_sdks(self, small_corpus):
-        from repro.appmodel.sdk import sdk_by_name
 
         for packaged in small_corpus.dataset("android", "random"):
             app = packaged.app

@@ -3,16 +3,9 @@
 import pytest
 
 from repro.corpus.crawler import CollectionCampaign
-from repro.corpus.stores import (
-    AlternativeTo,
-    AppleAppStore,
-    CrawlLog,
-    ITunesSession,
-    PlayStore,
-    RateLimitedCrawler,
-)
+from repro.corpus.stores import AlternativeTo, AppleAppStore, ITunesSession, RateLimitedCrawler
 from repro.errors import CorpusError, DeviceError
-from repro.util.simtime import SimClock, Timestamp
+from repro.util.simtime import SimClock
 
 
 @pytest.fixture(scope="module")

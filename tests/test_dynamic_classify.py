@@ -1,6 +1,5 @@
 """Tests for the used/failed classifiers — wire-visible patterns only."""
 
-import pytest
 
 from repro.core.dynamic.classify import connection_failed, connection_used
 from repro.netsim.flow import FlowRecord

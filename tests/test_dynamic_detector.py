@@ -10,12 +10,7 @@ from repro.core.dynamic import (
 )
 from repro.netsim.capture import TrafficCapture
 from repro.netsim.flow import FlowRecord
-from repro.tls.connection import (
-    ConnectionTrace,
-    TEARDOWN_FIN,
-    TEARDOWN_OPEN,
-    TEARDOWN_RST,
-)
+from repro.tls.connection import ConnectionTrace, TEARDOWN_OPEN, TEARDOWN_RST
 from repro.tls.records import ContentType, Direction, TLSRecord, TLSVersion
 from repro.util.simtime import STUDY_START
 

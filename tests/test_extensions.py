@@ -1,17 +1,11 @@
 """Tests for the extension analyses: Spinner probing and NSC misconfigs."""
 
-import pytest
 
 from repro.core.analysis.misconfig import (
     find_nsc_misconfigurations,
     misconfig_table,
 )
-from repro.core.analysis.spinner import (
-    build_probe_chain,
-    probe_app,
-    spinner_scan,
-    spinner_table,
-)
+from repro.core.analysis.spinner import build_probe_chain, spinner_scan, spinner_table
 
 
 class TestProbeChain:
@@ -56,7 +50,6 @@ class TestSpinnerScan:
     def test_scan_flags_only_lax_implementations(
         self, small_corpus, study_results
     ):
-        from repro.core.dynamic.pipeline import DynamicPipeline
 
         for platform in ("android", "ios"):
             store = (

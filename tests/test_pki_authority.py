@@ -8,8 +8,6 @@ from repro.pki.authority import (
     DEFAULT_ROOT_OPERATORS,
     PKIHierarchy,
 )
-from repro.pki.certificate import Certificate, DistinguishedName
-from repro.pki.keys import KeyPair
 from repro.util.rng import DeterministicRng
 from repro.util.simtime import STUDY_START
 

@@ -6,7 +6,6 @@ from repro.errors import CertificateError
 from repro.pki.authority import CertificateAuthority, PKIHierarchy
 from repro.pki.chain import CertificateChain
 from repro.util.rng import DeterministicRng
-from repro.util.simtime import STUDY_START
 
 
 @pytest.fixture(scope="module")

@@ -1,11 +1,9 @@
 """Property-based tests on validation-policy invariants."""
 
-import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.pki.authority import PKIHierarchy
-from repro.pki.chain import CertificateChain
 from repro.pki.store import StoreCatalog
 from repro.tls.policy import (
     CompositePolicy,

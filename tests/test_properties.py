@@ -1,8 +1,6 @@
 """Property-based tests (hypothesis) on core invariants."""
 
-import re
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for repro.tls.ciphers, alerts, records, fingerprint."""
 
-import pytest
 
 from repro.tls.alerts import (
     Alert,

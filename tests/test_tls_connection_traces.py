@@ -1,6 +1,5 @@
 """Trace synthesis for negotiation failures and abort styles."""
 
-import pytest
 
 from repro.tls.connection import (
     TEARDOWN_FIN,

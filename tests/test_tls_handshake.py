@@ -20,12 +20,7 @@ from repro.tls.handshake import (
     perform_handshake,
 )
 from repro.tls.policy import SpkiPinPolicy, SystemValidationPolicy
-from repro.tls.records import (
-    ContentType,
-    Direction,
-    TLSVersion,
-    TLS13_ENCRYPTED_ALERT_LEN,
-)
+from repro.tls.records import TLSVersion, TLS13_ENCRYPTED_ALERT_LEN
 from repro.util.rng import DeterministicRng
 from repro.util.simtime import STUDY_START
 

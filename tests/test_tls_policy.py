@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ChainValidationError
 from repro.pki.authority import PKIHierarchy
-from repro.pki.store import RootStore, StoreCatalog
+from repro.pki.store import StoreCatalog
 from repro.tls.policy import (
     CompositePolicy,
     NSCDomainRule,

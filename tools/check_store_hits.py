@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Assert result-store hit-rate invariants from a metrics export.
+
+Usage::
+
+    python tools/check_store_hits.py METRICS_JSON --min-hit-rate 0.95
+    python tools/check_store_hits.py METRICS_JSON --expect-no-hits
+
+Reads the flat metrics JSON written by ``repro study --metrics-out`` and
+checks the ``store.units.hit`` / ``store.units.miss`` counters.  CI uses
+this twice: a warm re-run must hit at least ``--min-hit-rate`` of its
+units (the incremental contract: <5 % of units re-executed), and a
+configuration-perturbed run must hit **none** (the invalidation
+contract: changed fingerprints never serve stale results).
+
+Stdlib-only.  Exit status: 0 when the invariant holds, 1 when it does
+not, 2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help="metrics JSON from --metrics-out")
+    parser.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        help="fail when unit hits / (hits + misses) is below this",
+    )
+    parser.add_argument(
+        "--expect-no-hits",
+        action="store_true",
+        help="fail when any unit hit was recorded (invalidation check)",
+    )
+    args = parser.parse_args(argv)
+    if args.min_hit_rate is None and not args.expect_no_hits:
+        parser.error("give --min-hit-rate and/or --expect-no-hits")
+
+    try:
+        with open(args.metrics) as fh:
+            counters = json.load(fh)["counters"]
+        hits = float(counters.get("store.units.hit", 0))
+        misses = float(counters.get("store.units.miss", 0))
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: unreadable metrics file: {exc}", file=sys.stderr)
+        return 2
+
+    total = hits + misses
+    rate = hits / total if total else 0.0
+    print(
+        f"store units: {hits:g} hit(s), {misses:g} miss(es) "
+        f"(hit rate {rate:.1%})"
+    )
+
+    if args.expect_no_hits and hits > 0:
+        print(
+            f"FAIL: expected zero store hits (invalidation), got {hits:g}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_hit_rate is not None:
+        if total == 0:
+            print(
+                "FAIL: no store lookups recorded — was --store passed?",
+                file=sys.stderr,
+            )
+            return 1
+        if rate < args.min_hit_rate:
+            print(
+                f"FAIL: hit rate {rate:.1%} below required "
+                f"{args.min_hit_rate:.1%}",
+                file=sys.stderr,
+            )
+            return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
