@@ -1,0 +1,120 @@
+"""Microbenchmarks of the pool boundary itself.
+
+Measures the three costs the engine pays to distribute work — and that
+the spec bootstrap and payload codec exist to shrink:
+
+* **corpus bootstrap** — bytes a worker's ``initargs`` cost under the
+  spec bootstrap versus pickling the full corpus (asserted ≥ 10×
+  smaller), plus the wall time of a cold spec rebuild (what a spawn
+  worker pays once);
+* **result payloads** — encoded bytes over the boundary versus pickling
+  the result objects directly, per unit kind (asserted never larger);
+* **end-to-end overhead** — worker init seconds and IPC byte counters
+  from an instrumented forced-pool run.
+
+Set ``REPRO_BENCH_OVERHEAD_OUT=<path>`` to write the collected figures
+as a JSON artifact (CI uploads it and gates on it via
+``tools/check_bench_regression.py --overhead``).
+
+On a single-CPU runner the parallel-beats-serial assertion lives in
+``test_study_parallel.py``; this module's figures are machine-shaped but
+its assertions (byte ratios) are not, so everything here runs anywhere.
+"""
+
+import json
+import os
+import pickle
+import time
+
+import pytest
+
+import repro.core.exec.engine as engine_mod
+from repro.core.exec import WorkerBootstrap
+from repro.core.exec.engine import _build_state, _run_unit
+from repro.core.exec.payload import encode_unit
+from repro.corpus import CorpusConfig, CorpusGenerator
+
+SCALE = float(os.environ.get("REPRO_BENCH_PARALLEL_SCALE", "0.05"))
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusGenerator(CorpusConfig(seed=2022).scaled(SCALE)).generate()
+
+
+@pytest.fixture(scope="module")
+def collected():
+    """Figures accumulated across tests, written once at session end."""
+    return {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_artifact(collected):
+    yield
+    out = os.environ.get("REPRO_BENCH_OVERHEAD_OUT")
+    if out:
+        collected["scale"] = SCALE
+        collected["cpu_count"] = os.cpu_count()
+        with open(out, "w") as fh:
+            json.dump(collected, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\noverhead artifact written to {out}")
+
+
+def test_spec_bootstrap_shrinks_initargs(corpus, collected):
+    bootstrap = WorkerBootstrap.for_corpus(corpus)
+    full = len(pickle.dumps(corpus))
+    spec_bytes = bootstrap.payload_bytes()
+    reduction = full / max(1, spec_bytes)
+    collected["corpus_bootstrap_bytes"] = spec_bytes
+    collected["full_corpus_pickle_bytes"] = full
+    collected["corpus_bytes_reduction"] = round(reduction, 1)
+    print(
+        f"\nbootstrap: {spec_bytes} B spec vs {full} B corpus pickle "
+        f"({reduction:.0f}x)"
+    )
+    assert reduction >= 10.0
+
+
+def test_cold_rebuild_cost(corpus, collected, monkeypatch):
+    """What a spawn-platform worker pays once: spec rebuild + verify."""
+    monkeypatch.setattr(engine_mod, "_PARENT_CORPUS", None)
+    bootstrap = WorkerBootstrap.for_corpus(corpus)
+    started = time.perf_counter()
+    rebuilt, how = bootstrap.resolve()
+    rebuild_s = time.perf_counter() - started
+    assert how == "rebuilt"
+    assert rebuilt.seed == corpus.seed
+    collected["cold_rebuild_s"] = round(rebuild_s, 3)
+    print(f"\ncold spec rebuild: {rebuild_s:.3f}s at scale {SCALE}")
+
+
+def test_fork_inheritance_is_free(corpus, collected, monkeypatch):
+    """What a fork-platform worker pays: a fingerprint check."""
+    monkeypatch.setattr(engine_mod, "_PARENT_CORPUS", corpus)
+    bootstrap = WorkerBootstrap.for_corpus(corpus)
+    started = time.perf_counter()
+    resolved, how = bootstrap.resolve()
+    inherit_s = time.perf_counter() - started
+    assert how == "inherited"
+    assert resolved is corpus
+    collected["fork_inherit_s"] = round(inherit_s, 5)
+    print(f"\nfork inheritance: {inherit_s * 1000:.2f}ms")
+
+
+@pytest.mark.parametrize(
+    "kind,extra", [("static", None), ("dynamic", 0.0)]
+)
+def test_payload_encoding_never_larger(corpus, collected, kind, extra):
+    state = _build_state(corpus, 30.0)
+    indices = tuple(range(min(8, len(corpus.dataset("android", "common")))))
+    results = _run_unit(state, (kind, "android", "common", indices, extra))
+    plain = len(pickle.dumps(results))
+    encoded = len(pickle.dumps(encode_unit(kind, results)))
+    collected[f"payload_{kind}_plain_bytes"] = plain
+    collected[f"payload_{kind}_encoded_bytes"] = encoded
+    print(
+        f"\n{kind} unit ({len(indices)} apps): {encoded} B encoded "
+        f"vs {plain} B plain ({plain / max(1, encoded):.1f}x)"
+    )
+    assert encoded <= plain

@@ -7,7 +7,7 @@ stages, and prints Tables 1–9 and the data behind Figures 2–5.  Takes a
 few minutes; use ``--scale`` to shrink.
 
 Run:
-    python examples/full_study.py [--scale 1.0] [--workers 4] \
+    python examples/full_study.py [--scale 1.0] [--workers auto] \
         [--resume study.ckpt] [--max-retries 2] [--out results.txt] \
         [--store results.store] \
         [--trace-out study.trace.json] [--metrics-out study.metrics.json]
@@ -48,9 +48,11 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=2022)
     parser.add_argument(
         "--workers",
-        type=int,
+        type=lambda v: v if v == "auto" else int(v),
         default=1,
-        help="worker processes (results identical for any value)",
+        help="worker processes (results identical for any value; 'auto' "
+        "sizes the pool to the machine and falls back to serial when "
+        "the pool cannot win)",
     )
     parser.add_argument(
         "--max-retries",

@@ -68,6 +68,16 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _workers_arg(value: str):
+    """``--workers`` value: a positive integer or the string ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        return _positive_int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError("must be an integer >= 1 or 'auto'")
+
+
 def _non_negative_int(value: str) -> int:
     number = int(value)
     if number < 0:
@@ -196,10 +206,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--workers",
-        type=_positive_int,
+        type=_workers_arg,
         default=1,
         help="worker processes for study execution (results are "
-        "identical for any value; 1 = serial)",
+        "identical for any value; 1 = serial; 'auto' sizes the pool to "
+        "the machine and falls back to serial when the pool cannot win)",
     )
     parser.add_argument(
         "--chunk-size",

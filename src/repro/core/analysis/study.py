@@ -9,7 +9,7 @@ method per paper table/figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core import obs as obs_mod
 from repro.core.analysis import categories as categories_mod
@@ -279,6 +279,10 @@ class Study:
             hard to fight per-app failures (retries, quarantine); the
             default plan runs serially.  Results are identical for every
             plan (see :mod:`repro.core.exec`).
+        workers: shorthand for ``plan=ExecutionPlan(workers=...)`` — an
+            integer pool size, or ``"auto"`` to size the pool to the
+            machine and let the cost-aware scheduler fall back to serial
+            when the pool cannot win.  Ignored when ``plan`` is given.
         fault_predicate: injectable per-app failure hook for
             fault-tolerance testing (see :mod:`repro.core.exec.faults`).
     """
@@ -289,8 +293,11 @@ class Study:
         sleep_s: float = 30.0,
         plan: Optional[ExecutionPlan] = None,
         fault_predicate=None,
+        workers: Optional[Union[int, str]] = None,
     ):
         self.corpus = corpus
+        if plan is None and workers is not None:
+            plan = ExecutionPlan(workers=workers)
         self.plan = plan or ExecutionPlan()
         self.sleep_s = sleep_s
         self.dynamic_pipeline = DynamicPipeline(

@@ -1,10 +1,16 @@
 """Parallel, fault-tolerant study execution.
 
 Public API: :class:`~repro.core.exec.plan.ExecutionPlan` configures worker
-count, chunking, and the fault-tolerance envelope (retries, backoff,
-deadline, quarantine); :class:`~repro.core.exec.engine.ExecutionEngine`
-runs study work units under a plan with results identical to a serial
-run, degrading per-app failures into a
+count (``"auto"`` sizes the pool to the machine), chunking, scheduling
+policy, and the fault-tolerance envelope (retries, backoff, deadline,
+quarantine); :class:`~repro.core.exec.engine.ExecutionEngine` runs study
+work units under a plan with results identical to a serial run —
+bootstrapping workers from a compact
+:class:`~repro.corpus.spec.CorpusSpec` instead of a pickled corpus,
+shipping results back as slim payload encodings
+(:mod:`repro.core.exec.payload`), and falling back to the serial path
+when the cost model (:mod:`repro.core.exec.costmodel`) says the pool
+cannot win — degrading per-app failures into a
 :class:`~repro.core.exec.faults.UnitFailure` ledger;
 :class:`~repro.core.exec.checkpoint.StudyCheckpoint` journals completed
 units to disk so an interrupted run can resume;
@@ -16,7 +22,11 @@ testing all of it without real flakiness.
 """
 
 from repro.core.exec.checkpoint import StudyCheckpoint
-from repro.core.exec.engine import ExecutionEngine, ExecutionOutcome
+from repro.core.exec.engine import (
+    ExecutionEngine,
+    ExecutionOutcome,
+    WorkerBootstrap,
+)
 from repro.core.exec.faults import (
     InjectedFault,
     SeededFaults,
@@ -37,4 +47,5 @@ __all__ = [
     "StudyCheckpoint",
     "TransientFaults",
     "UnitFailure",
+    "WorkerBootstrap",
 ]

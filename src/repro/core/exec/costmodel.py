@@ -1,0 +1,157 @@
+"""The scheduler's cost model: when parallelism pays, and in what sizes.
+
+``BENCH_study.json`` showed the flat ~4-chunks-per-worker heuristic
+losing to the serial path (speedups of 0.24–0.42): with static scans
+running ~40× faster than dynamic runs, uniform chunking produces either
+hundreds of sub-millisecond units (all dispatch, no work) or a handful
+of lopsided ones (no straggler smoothing).  This module replaces the
+guess with modeled costs, calibrated once against the benchmark machine
+(see ``benchmarks/test_study_parallel.py``):
+
+* per-app compute cost by unit kind (:data:`APP_COST_S`);
+* per-unit dispatch overhead — submit, pickle, queue, collect
+  (:data:`UNIT_DISPATCH_S`) — plus per-app result-transfer cost
+  (:data:`APP_IPC_S`);
+* one-time pool spin-up (:data:`WORKER_SPAWN_S` per worker).
+
+The constants are deliberately coarse (order-of-magnitude accurate on
+any contemporary machine): the decisions they drive — chunk sizing and
+the parallel-versus-serial call — only need the *ratios* to be right,
+and those are structural (static work is tiny relative to boundary
+overhead; dynamic work is not).
+
+Every threshold is exercised at documented values in
+``tests/test_exec_scheduler.py``; DESIGN.md §11 derives them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+#: Modeled per-app compute seconds by unit kind, measured at the bench
+#: scale (static ≈ 0.1 ms/app, dynamic ≈ 3 ms/app; the ~40× ratio
+#: matches BENCH_study.json's 13,908 vs 320 apps/s).
+APP_COST_S = {
+    "static": 0.0001,
+    "dynamic": 0.003,
+    "circumvent": 0.002,
+}
+
+#: Per-app cost assumed for unknown kinds (conservative: dynamic-like).
+DEFAULT_APP_COST_S = 0.003
+
+#: One-time cost of spawning one worker process (interpreter + imports +
+#: corpus bootstrap).  Charged only while the pool does not exist yet.
+WORKER_SPAWN_S = 0.08
+
+#: Fixed cost of dispatching one unit across the pool boundary: submit,
+#: argument pickling, queue handoff, future collection.
+UNIT_DISPATCH_S = 0.0015
+
+#: Per-app cost of moving one result back over the boundary.
+APP_IPC_S = 0.0001
+
+#: Target compute seconds per unit: large enough that dispatch overhead
+#: stays a few percent of unit compute, small enough to smooth stragglers.
+TARGET_UNIT_S = 0.25
+
+#: Batches whose modeled serial time is below this never parallelize —
+#: even a warm pool costs more to feed than the work is worth.
+MIN_PARALLEL_SERIAL_S = 0.05
+
+#: Parallel must beat serial by this factor in the model before the
+#: scheduler commits to the pool (hysteresis against model error).
+PARALLEL_MARGIN = 1.1
+
+#: In-flight futures per worker in the bounded dispatch window: enough
+#: to backfill fast units behind stragglers, small enough that a crash
+#: or interrupt abandons little queued work.
+INFLIGHT_PER_WORKER = 4
+
+
+def app_cost_s(kind: str) -> float:
+    """Modeled compute seconds for one app of the given unit kind."""
+    return APP_COST_S.get(kind, DEFAULT_APP_COST_S)
+
+
+def chunk_size(kind: Optional[str], n_items: int, workers: int) -> int:
+    """Apps per unit for ``n_items`` apps of one kind over ``workers``.
+
+    Sizes units toward :data:`TARGET_UNIT_S` of modeled compute — so
+    static units carry ~40× more apps than dynamic ones — but never
+    larger than an even one-unit-per-worker split (otherwise a small
+    dataset would serialize onto one worker).
+    """
+    if n_items <= 0:
+        return 1
+    ideal = max(1, int(TARGET_UNIT_S / app_cost_s(kind or "dynamic")))
+    per_worker = -(-n_items // max(1, workers))  # ceil
+    return max(1, min(ideal, per_worker))
+
+
+def unit_cost_s(unit) -> float:
+    """Modeled compute seconds for one work unit."""
+    kind, _platform, _dataset, indices, _extra = unit
+    return len(indices) * app_cost_s(kind)
+
+
+def serial_estimate_s(units: Sequence) -> float:
+    """Modeled wall seconds to run ``units`` serially in-process."""
+    return sum(unit_cost_s(unit) for unit in units)
+
+
+def effective_workers(workers: int, cpus: Optional[int] = None) -> int:
+    """Workers that can actually compute concurrently on this machine."""
+    if cpus is None:
+        cpus = os.cpu_count() or 1
+    return max(1, min(workers, cpus))
+
+
+def parallel_estimate_s(
+    units: Sequence,
+    workers: int,
+    pool_started: bool = False,
+    cpus: Optional[int] = None,
+) -> float:
+    """Modeled wall seconds to run ``units`` on a pool of ``workers``.
+
+    Compute divides over the *effective* parallelism (worker processes
+    beyond the CPU count only contend); dispatch and IPC costs are paid
+    per unit and per app regardless; pool spin-up is charged only when
+    the pool does not exist yet.
+    """
+    compute = serial_estimate_s(units) / effective_workers(workers, cpus)
+    dispatch = len(units) * UNIT_DISPATCH_S
+    ipc = sum(len(unit[3]) for unit in units) * APP_IPC_S
+    spawn = 0.0 if pool_started else workers * WORKER_SPAWN_S
+    return compute + dispatch + ipc + spawn
+
+
+def should_parallelize(
+    units: Sequence,
+    workers: int,
+    pool_started: bool = False,
+    cpus: Optional[int] = None,
+) -> bool:
+    """The adaptive scheduler's serial-versus-pool decision for a batch.
+
+    Serial whenever any of these hold:
+
+    * only one worker can make progress (``workers`` or CPUs == 1);
+    * the batch is tiny (modeled serial < :data:`MIN_PARALLEL_SERIAL_S`);
+    * the modeled pool time, scaled by :data:`PARALLEL_MARGIN`, does not
+      beat the modeled serial time.
+    """
+    if effective_workers(workers, cpus) <= 1:
+        return False
+    serial_s = serial_estimate_s(units)
+    if serial_s < MIN_PARALLEL_SERIAL_S:
+        return False
+    pool_s = parallel_estimate_s(units, workers, pool_started, cpus)
+    return pool_s * PARALLEL_MARGIN < serial_s
+
+
+def inflight_window(workers: int) -> int:
+    """Maximum outstanding futures for the bounded dispatch window."""
+    return max(1, workers * INFLIGHT_PER_WORKER)

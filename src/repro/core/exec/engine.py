@@ -9,17 +9,38 @@ Determinism contract
 
 Every work unit is a pure function of ``(corpus, sleep_s, unit)``:
 
-* each worker rebuilds its pipelines from the pickled corpus, whose
-  construction is fully deterministic given the corpus seed;
+* each worker obtains a corpus identical to the parent's through a
+  :class:`WorkerBootstrap` — inherited copy-on-write under ``fork``,
+  rebuilt locally from a :class:`~repro.corpus.spec.CorpusSpec`
+  otherwise — and every non-inherited corpus is fingerprint-verified
+  against the parent's before any unit runs;
 * per-app randomness derives from the study seed and the app id alone
   (harness run streams, install-time anchors, proxy forgeries), never
   from how many apps ran before on the same worker;
 * unit results are merged back in submission order, so scheduling and
   completion order cannot leak into the output.
 
-The serial path (``plan.workers == 1``) executes the very same unit
-functions in the parent process, against lazily built (or caller
-provided) local pipelines — one code path, two schedulers.
+The serial path (``plan.serial``) executes the very same unit functions
+in the parent process, against lazily built (or caller provided) local
+pipelines — one code path, two schedulers.
+
+Pool-boundary economics
+-----------------------
+
+Three mechanisms keep the boundary cheaper than the work it distributes
+(DESIGN.md §11):
+
+* **Spec bootstrap** — pool ``initargs`` carry a few-dozen-byte corpus
+  spec instead of the multi-megabyte corpus pickle; workers rebuild (or
+  inherit) the world locally.
+* **Compact payloads** — unit results travel as slim-tuple encodings
+  (:mod:`repro.core.exec.payload`) and are rehydrated parent-side,
+  memoized against the parent corpus.
+* **Cost-aware scheduling** — units are sized per kind from
+  :mod:`repro.core.exec.costmodel`, dispatched through a bounded
+  in-flight window (fast units backfill stragglers without unbounded
+  queueing), and an ``adaptive`` plan falls back to the serial path
+  when the modeled dispatch overhead exceeds the modeled parallel win.
 
 Fault tolerance
 ---------------
@@ -55,16 +76,19 @@ to one run configuration); the store is the cross-run memo.
 
 from __future__ import annotations
 
+import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import obs
+from repro.core.exec import costmodel
 from repro.core.exec.checkpoint import StudyCheckpoint, split_unit
 from repro.core.exec.faults import FaultPredicate, InjectedFault, UnitFailure
 from repro.core.exec.plan import ExecutionPlan
-from repro.core.exec.resultstore import ResultStore
+from repro.core.exec.resultstore import ResultStore, corpus_fingerprint
+from repro.corpus.spec import CorpusSpec
 
 #: A work unit: ``(kind, platform, dataset, indices, extra)``.  ``indices``
 #: are positions inside ``corpus.dataset(platform, dataset)``.  ``extra``
@@ -177,28 +201,111 @@ def _run_unit_timed(state: dict, unit: WorkUnit) -> list:
         return _run_unit(state, unit)
 
 
+# -- worker bootstrap --------------------------------------------------------
+
+#: The corpus of the engine that most recently opened a pool, published
+#: for copy-on-write inheritance: under the ``fork`` start method a
+#: worker process sees this module global already set and (after a
+#: fingerprint check) adopts it without any serialization or rebuild.
+_PARENT_CORPUS = None
+
+
+@dataclass
+class WorkerBootstrap:
+    """Everything a worker needs to obtain its corpus.
+
+    Three sources, in order of preference at :meth:`resolve` time:
+
+    * ``inherited`` — the forked copy of :data:`_PARENT_CORPUS`, when its
+      fingerprint matches (zero-copy; Linux/macOS-fork pools);
+    * ``unpickled`` — the corpus shipped by value, when present (the
+      ``bootstrap="pickle"`` escape hatch for hand-mutated corpora);
+    * ``rebuilt`` — regenerated from the spec and verified against the
+      parent's fingerprint (spawn platforms; the production parity gate:
+      a divergent rebuild raises instead of computing wrong results).
+    """
+
+    fingerprint: str
+    spec: Optional[CorpusSpec] = None
+    corpus: Optional[object] = None
+
+    @classmethod
+    def for_corpus(cls, corpus, mode: str = "auto") -> "WorkerBootstrap":
+        """The bootstrap an engine ships for ``corpus`` under ``mode``."""
+        fingerprint = corpus_fingerprint(corpus)
+        if mode != "pickle":
+            spec = CorpusSpec.from_corpus(corpus)
+            if spec is not None and spec.fingerprint() == fingerprint:
+                return cls(fingerprint=fingerprint, spec=spec)
+            if mode == "spec":
+                raise ValueError(
+                    "corpus is not spec-representable (mutated datasets "
+                    "or non-generator shape); use bootstrap='pickle'"
+                )
+        return cls(fingerprint=fingerprint, corpus=corpus)
+
+    def payload_bytes(self) -> int:
+        """Bytes this bootstrap pickles to — what one worker's initargs
+        cost on start methods that serialize them (``spawn``)."""
+        return len(pickle.dumps(self))
+
+    def resolve(self) -> Tuple[object, str]:
+        """The worker-local corpus and how it was obtained."""
+        parent = _PARENT_CORPUS
+        if parent is not None and corpus_fingerprint(parent) == self.fingerprint:
+            return parent, "inherited"
+        if self.corpus is not None:
+            return self.corpus, "unpickled"
+        assert self.spec is not None
+        rebuilt = self.spec.build()
+        if corpus_fingerprint(rebuilt) != self.fingerprint:
+            raise RuntimeError(
+                "worker corpus rebuild diverged from the parent corpus "
+                f"(spec {self.spec!r}); the generator is not deterministic "
+                "on this platform"
+            )
+        return rebuilt, "rebuilt"
+
+
 # -- worker-process entry points ---------------------------------------------
 
 _WORKER_STATE: Optional[dict] = None
 _WORKER_RECORDER: Optional[obs.Recorder] = None
 
 
+def _payload():
+    """The payload codec, imported lazily: it pulls in the pipelines'
+    result models, which transitively import this package."""
+    from repro.core.exec import payload
+
+    return payload
+
+
 def _init_worker(
-    corpus,
+    bootstrap: WorkerBootstrap,
     sleep_s: float,
     fault_predicate: Optional[FaultPredicate],
     telemetry: bool = False,
 ) -> None:
-    """Pool initializer: receives the corpus once per worker process."""
+    """Pool initializer: resolve the corpus once per worker process.
+
+    With telemetry on, the init cost and bootstrap mode are recorded in
+    the worker recorder and ride back with the first unit's snapshot
+    (``exec.worker.init_s`` / ``exec.bootstrap.*``).
+    """
     global _WORKER_STATE, _WORKER_RECORDER
-    _WORKER_STATE = _build_state(corpus, sleep_s, fault_predicate)
     if telemetry:
         _WORKER_RECORDER = obs.Recorder().install()
+    watch = obs.Stopwatch()
+    corpus, how = bootstrap.resolve()
+    _WORKER_STATE = _build_state(corpus, sleep_s, fault_predicate)
+    obs.observe("exec.worker.init_s", watch.elapsed())
+    obs.count(f"exec.bootstrap.{how}")
 
 
-def _run_unit_in_worker(unit: WorkUnit) -> list:
+def _run_unit_in_worker(unit: WorkUnit) -> tuple:
     assert _WORKER_STATE is not None, "worker used before initialization"
-    return _run_unit(_WORKER_STATE, unit)
+    return _payload().encode_unit(unit[0], _run_unit(_WORKER_STATE, unit))
 
 
 def _stamp_done(future) -> None:
@@ -212,7 +319,7 @@ def _stamp_done(future) -> None:
 
 
 def _run_unit_in_worker_telemetry(unit: WorkUnit) -> tuple:
-    """Telemetry variant: returns ``(result, TelemetrySnapshot)``.
+    """Telemetry variant: returns ``(encoded_result, TelemetrySnapshot)``.
 
     The snapshot is the worker recorder's delta since its last drain, so
     spans and cache counters of a failed earlier attempt ride along with
@@ -222,15 +329,19 @@ def _run_unit_in_worker_telemetry(unit: WorkUnit) -> tuple:
     assert _WORKER_STATE is not None, "worker used before initialization"
     assert _WORKER_RECORDER is not None
     result = _run_unit_timed(_WORKER_STATE, unit)
-    return result, _WORKER_RECORDER.drain()
+    return _payload().encode_unit(unit[0], result), _WORKER_RECORDER.drain()
 
 
 class ExecutionEngine:
     """Schedules study work units under an :class:`ExecutionPlan`.
 
     Args:
-        corpus: the app corpus (pickled to each worker once).
-        plan: sharding + fault-tolerance configuration; defaults to serial.
+        corpus: the app corpus.  Workers receive its
+            :class:`WorkerBootstrap` (spec or pickle, per
+            ``plan.bootstrap``), never the corpus itself unless the
+            pickle escape hatch is in force.
+        plan: sharding + scheduling + fault-tolerance configuration;
+            defaults to serial.
         sleep_s: dynamic-run capture window, forwarded to worker pipelines.
         pipelines: optional ``(static, dynamic, circumvention)`` triple to
             reuse as the parent-process pipelines for serial execution
@@ -243,10 +354,11 @@ class ExecutionEngine:
         recorder: optional telemetry recorder (see :mod:`repro.core.obs`).
             When set, every unit runs under a span, workers stream
             per-unit telemetry snapshots back with their results, and the
-            engine counts retries, quarantines, failures and journal
-            replays.  Must be set before the worker pool is first used
-            (pool initialisation bakes the telemetry flag in).  Results
-            are bit-for-bit identical with and without a recorder.
+            engine counts retries, quarantines, failures, journal replays
+            and pool-boundary traffic (``exec.ipc.*``).  Must be set
+            before the worker pool is first used (pool initialisation
+            bakes the telemetry flag in).  Results are bit-for-bit
+            identical with and without a recorder.
         store: optional :class:`~repro.core.exec.resultstore.ResultStore`.
             When set, resilient execution consults it before dispatching
             each unit (a full per-app hit skips the unit entirely) and
@@ -277,6 +389,7 @@ class ExecutionEngine:
             self._state["dynamic"] = dynamic
             self._state["circumvent"] = circumvent
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._rehydrator = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -286,19 +399,42 @@ class ExecutionEngine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def close(self) -> None:
-        """Shut down the worker pool (no-op for serial plans)."""
+    def close(self, cancel_futures: bool = False) -> None:
+        """Shut down the worker pool (no-op for serial plans).
+
+        ``cancel_futures`` drops queued-but-unpicked work instead of
+        draining it — the error-path contract: a failed strict run must
+        neither leak worker processes nor burn time finishing work whose
+        results will never be consumed.
+        """
+        global _PARENT_CORPUS
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(cancel_futures=cancel_futures)
             self._pool = None
+        if _PARENT_CORPUS is self.corpus:
+            _PARENT_CORPUS = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            global _PARENT_CORPUS
+            bootstrap = WorkerBootstrap.for_corpus(
+                self.corpus, self.plan.bootstrap
+            )
+            # Publish the corpus for copy-on-write inheritance before the
+            # executor exists: workers are forked lazily on first submit,
+            # always after this point.
+            _PARENT_CORPUS = self.corpus
+            workers = self.plan.worker_count
+            if self.recorder is not None:
+                self.recorder.count(
+                    "exec.ipc.corpus_bytes",
+                    bootstrap.payload_bytes() * workers,
+                )
             self._pool = ProcessPoolExecutor(
-                max_workers=self.plan.workers,
+                max_workers=workers,
                 initializer=_init_worker,
                 initargs=(
-                    self.corpus,
+                    bootstrap,
                     self.sleep_s,
                     self.fault_predicate,
                     self.recorder is not None,
@@ -329,22 +465,30 @@ class ExecutionEngine:
         if self.recorder is not None:
             future.submit_t = obs.now()
             future.add_done_callback(_stamp_done)
+            self.recorder.count("exec.ipc.bytes_out", len(pickle.dumps(unit)))
         return future
+
+    def _rehydrate(self, encoded: tuple) -> list:
+        if self._rehydrator is None:
+            self._rehydrator = _payload().Rehydrator(self.corpus)
+        return self._rehydrator.decode_unit(encoded)
 
     def _collect(self, future) -> list:
         """Resolve a future to its unit result, folding telemetry in.
 
-        With a recorder, the worker payload is ``(result, snapshot)``:
-        the snapshot's counters merge order-independently, its spans are
-        rebased from the worker's ``perf_counter`` origin onto the parent
-        timeline (anchored so the unit's compute region ends at its
-        completion time), and queue-wait (submit-to-done wall time minus
-        in-worker compute) is recorded per unit.
+        The worker returns the unit's compact payload encoding; it is
+        rehydrated here against the parent corpus.  With a recorder, the
+        worker payload is ``(encoded, snapshot)``: the snapshot's
+        counters merge order-independently, its spans are rebased from
+        the worker's ``perf_counter`` origin onto the parent timeline
+        (anchored so the unit's compute region ends at its completion
+        time), and queue-wait (submit-to-done wall time minus in-worker
+        compute) plus boundary bytes are recorded per unit.
         """
         payload = future.result()
         if self.recorder is None:
-            return payload
-        result, snapshot = payload
+            return self._rehydrate(payload)
+        encoded, snapshot = payload
         compute_s = snapshot.compute_seconds()
         done_t = getattr(future, "done_t", obs.now())
         wall_s = done_t - getattr(future, "submit_t", done_t)
@@ -354,7 +498,8 @@ class ExecutionEngine:
         self.recorder.observe(
             "exec.unit_queue_wait_s", max(0.0, wall_s - compute_s)
         )
-        return result
+        self.recorder.count("exec.ipc.bytes_in", len(pickle.dumps(encoded)))
+        return self._rehydrate(encoded)
 
     def _run_local(self, unit: WorkUnit) -> list:
         """Run one unit in-process (the serial scheduler), instrumented."""
@@ -364,6 +509,64 @@ class ExecutionEngine:
         result = _run_unit_timed(self._state, unit)
         self.recorder.observe("exec.unit_compute_s", watch.elapsed())
         return result
+
+    # -- scheduling --------------------------------------------------------
+
+    def _use_pool(self, units: Sequence[WorkUnit]) -> bool:
+        """Pool or serial path for one batch of units.
+
+        Non-adaptive plans follow their worker count verbatim.  Adaptive
+        plans consult the cost model per batch: a batch whose modeled
+        dispatch overhead exceeds its modeled parallel win runs in the
+        parent process instead (counted as a serial fallback).
+        """
+        if self.plan.serial:
+            return False
+        if not self.plan.adaptive:
+            return True
+        if costmodel.should_parallelize(
+            units,
+            self.plan.worker_count,
+            pool_started=self._pool is not None,
+        ):
+            self._count("exec.sched.parallel_batches")
+            return True
+        self._count("exec.sched.serial_fallbacks")
+        return False
+
+    def _dispatch_windowed(
+        self,
+        pool: ProcessPoolExecutor,
+        pending: Iterable[Tuple[int, WorkUnit]],
+        collect: Callable[[int, WorkUnit, object], None],
+    ) -> None:
+        """Run ``(position, unit)`` pairs through a bounded in-flight window.
+
+        At most :func:`costmodel.inflight_window` futures are outstanding:
+        enough to keep every worker fed and let fast units backfill behind
+        stragglers, without queueing the whole batch into the pool (where
+        an interrupt could only cancel, not unsubmit, it).  ``collect`` is
+        called in *completion* order; callers index results by submission
+        position, so merge order remains submission order regardless.
+        """
+        window = costmodel.inflight_window(self.plan.worker_count)
+        outstanding: dict = {}
+        queue = iter(pending)
+        exhausted = False
+        while True:
+            while not exhausted and len(outstanding) < window:
+                try:
+                    position, unit = next(queue)
+                except StopIteration:
+                    exhausted = True
+                    break
+                outstanding[self._submit(pool, unit)] = (position, unit)
+            if not outstanding:
+                break
+            done, _ = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                position, unit = outstanding.pop(future)
+                collect(position, unit, future)
 
     # -- sharding ----------------------------------------------------------
 
@@ -382,7 +585,7 @@ class ExecutionEngine:
         pre-launch wait, replicated into every unit.
         """
         indices = list(indices)
-        chunk = self.plan.chunk_for(len(indices))
+        chunk = self.plan.chunk_for(len(indices), kind)
         units: List[WorkUnit] = []
         for start in range(0, len(indices), chunk):
             block = tuple(indices[start : start + chunk])
@@ -400,34 +603,34 @@ class ExecutionEngine:
     def execute(self, units: Sequence[WorkUnit]) -> List[list]:
         """Run units strictly: any worker exception propagates.
 
-        Returns per-unit results in submission order.  The serial plan
-        runs them in-process; otherwise units are submitted to the pool
-        and collected by future, so the merge order is the submission
-        order regardless of completion order.  On error the pool is shut
-        down before the exception propagates — a failed strict run must
-        not leak worker processes.
+        Returns per-unit results in submission order.  The serial path
+        (by plan, or by adaptive fallback) runs them in-process;
+        otherwise units flow through the bounded dispatch window and are
+        merged by submission position, so completion order cannot leak
+        into the output.  On error the pool is shut down with
+        ``cancel_futures=True`` before the exception propagates — a
+        failed strict run must neither leak worker processes nor drain
+        the queued remainder of the batch first.
         """
+        units = list(units)
         try:
-            if self.plan.serial:
+            if not self._use_pool(units):
                 results = []
                 for unit in units:
                     results.append(self._run_local(unit))
                     self._count("exec.units.completed")
                 return results
             pool = self._ensure_pool()
-            futures = [self._submit(pool, unit) for unit in units]
-            try:
-                results = []
-                for future in futures:
-                    results.append(self._collect(future))
-                    self._count("exec.units.completed")
-                return results
-            except BaseException:
-                for future in futures:
-                    future.cancel()
-                raise
+            results: List[Optional[list]] = [None] * len(units)
+
+            def on_done(position: int, unit: WorkUnit, future) -> None:
+                results[position] = self._collect(future)
+                self._count("exec.units.completed")
+
+            self._dispatch_windowed(pool, enumerate(units), on_done)
+            return list(results)
         except BaseException:
-            self.close()
+            self.close(cancel_futures=True)
             raise
 
     def map_dataset(
@@ -484,24 +687,26 @@ class ExecutionEngine:
             else:
                 pending.append((position, unit))
 
+        use_pool = self._use_pool([unit for _, unit in pending])
         try:
-            if self.plan.serial:
+            if not use_pool:
                 for position, unit in pending:
                     unit_results[position] = self._run_with_recovery(
-                        unit, failures, checkpoint
+                        unit, failures, checkpoint, use_pool=False
                     )
             else:
                 pool = self._ensure_pool()
-                futures = [
-                    (position, unit, self._submit(pool, unit))
-                    for position, unit in pending
-                ]
-                for position, unit, future in futures:
+
+                def on_done(position: int, unit: WorkUnit, future) -> None:
                     try:
                         result = self._collect(future)
                     except Exception as exc:
                         unit_results[position] = self._run_with_recovery(
-                            unit, failures, checkpoint, first_error=exc
+                            unit,
+                            failures,
+                            checkpoint,
+                            first_error=exc,
+                            use_pool=True,
                         )
                     else:
                         if checkpoint is not None:
@@ -509,6 +714,8 @@ class ExecutionEngine:
                         self._publish(unit, result)
                         unit_results[position] = result
                         self._count("exec.units.completed")
+
+                self._dispatch_windowed(pool, pending, on_done)
         except BaseException:
             self.close()
             raise
@@ -533,14 +740,19 @@ class ExecutionEngine:
 
     # -- recovery internals ------------------------------------------------
 
-    def _attempt(self, unit: WorkUnit) -> list:
-        """One attempt at one unit, on whichever scheduler the plan uses."""
-        if self.plan.serial:
+    def _attempt(self, unit: WorkUnit, use_pool: bool) -> list:
+        """One attempt at one unit, on the scheduler the batch chose.
+
+        An adaptive serial fallback sticks for the whole recovery ladder:
+        a batch the cost model kept in-process must not spin up a pool
+        just to retry one unit.
+        """
+        if not use_pool:
             return self._run_local(unit)
         return self._collect(self._submit(self._ensure_pool(), unit))
 
     def _retry(
-        self, unit: WorkUnit, first_error: Exception
+        self, unit: WorkUnit, first_error: Exception, use_pool: bool
     ) -> Tuple[Optional[list], int, Optional[Exception]]:
         """Retry a failed unit within the plan's budget.
 
@@ -565,7 +777,7 @@ class ExecutionEngine:
             attempts += 1
             self._count("exec.retry.attempts")
             try:
-                return self._attempt(unit), attempts, None
+                return self._attempt(unit, use_pool), attempts, None
             except Exception as exc:
                 error = exc
                 self._count_error(exc)
@@ -585,6 +797,7 @@ class ExecutionEngine:
         checkpoint: Optional[StudyCheckpoint],
         first_error: Optional[Exception] = None,
         in_quarantine: bool = False,
+        use_pool: bool = False,
     ) -> list:
         """Run one unit to a result or a ledger entry, never an exception.
 
@@ -596,7 +809,7 @@ class ExecutionEngine:
         """
         if first_error is None:
             try:
-                result = self._attempt(unit)
+                result = self._attempt(unit, use_pool)
             except Exception as exc:
                 first_error = exc
                 self._count_error(exc)
@@ -609,7 +822,7 @@ class ExecutionEngine:
         else:
             self._count_error(first_error)
 
-        result, attempts, error = self._retry(unit, first_error)
+        result, attempts, error = self._retry(unit, first_error, use_pool)
         if result is not None:
             if checkpoint is not None:
                 checkpoint.record(unit, result)
@@ -625,7 +838,11 @@ class ExecutionEngine:
             for solo in split_unit(unit):
                 merged.extend(
                     self._run_with_recovery(
-                        solo, failures, checkpoint, in_quarantine=True
+                        solo,
+                        failures,
+                        checkpoint,
+                        in_quarantine=True,
+                        use_pool=use_pool,
                     )
                 )
             return merged

@@ -15,6 +15,7 @@ Entry point::
 from repro.corpus.crawler import CollectionCampaign, CollectionReport
 from repro.corpus.datasets import AppCorpus, DatasetKey
 from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.corpus.spec import CorpusSpec, content_fingerprint
 
 __all__ = [
     "AppCorpus",
@@ -22,5 +23,7 @@ __all__ = [
     "CollectionReport",
     "CorpusConfig",
     "CorpusGenerator",
+    "CorpusSpec",
     "DatasetKey",
+    "content_fingerprint",
 ]

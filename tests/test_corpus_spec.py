@@ -1,0 +1,181 @@
+"""Tests for repro.corpus.spec: spec-based worker bootstrap parity.
+
+The engine ships workers a :class:`CorpusSpec` instead of a pickled
+corpus, so everything rests on one claim: a spec-rebuilt corpus is
+indistinguishable from its parent.  These tests pin that down at three
+levels — fingerprints (the result store's corpus key), content (a deep
+digest over every generated app), and behaviour (byte-identical per-app
+results for all three unit kinds, and result-store hits across the
+parent/rebuilt boundary).
+"""
+
+import pickle
+
+import pytest
+
+import repro.core.exec.engine as engine_mod
+from repro.core.exec import ResultStore, WorkerBootstrap
+from repro.core.exec.engine import _build_state, _run_unit
+from repro.core.exec.resultstore import corpus_fingerprint
+from repro.corpus import (
+    CorpusConfig,
+    CorpusGenerator,
+    CorpusSpec,
+    content_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CorpusConfig(seed=1337).scaled(0.015)
+
+
+@pytest.fixture(scope="module")
+def corpus(config):
+    return CorpusGenerator(config).generate()
+
+
+@pytest.fixture(scope="module")
+def spec(corpus):
+    derived = CorpusSpec.from_corpus(corpus)
+    assert derived is not None
+    return derived
+
+
+@pytest.fixture(scope="module")
+def rebuilt(spec):
+    return spec.build()
+
+
+def _mutated_corpus():
+    """A corpus whose shape no generator config produces."""
+    corpus = CorpusGenerator(CorpusConfig(seed=7).scaled(0.01)).generate()
+    corpus.datasets[("android", "common")].pop()
+    return corpus
+
+
+class TestCorpusSpec:
+    def test_from_corpus_round_trips_config(self, config, corpus, spec):
+        assert spec == CorpusSpec.from_config(config)
+        assert spec.config() == config
+        assert spec.seed == corpus.seed
+
+    def test_fingerprint_matches_result_store_key(self, corpus, spec):
+        # The spec's fingerprint IS the result-store corpus fingerprint:
+        # a worker can verify its rebuild without ever seeing the parent.
+        assert spec.fingerprint() == corpus_fingerprint(corpus)
+
+    def test_mutated_corpus_is_not_spec_representable(self):
+        assert CorpusSpec.from_corpus(_mutated_corpus()) is None
+
+    def test_missing_dataset_is_not_spec_representable(self):
+        corpus = CorpusGenerator(CorpusConfig(seed=7).scaled(0.01)).generate()
+        del corpus.datasets[("ios", "random")]
+        assert CorpusSpec.from_corpus(corpus) is None
+
+
+class TestRebuildParity:
+    def test_rebuild_fingerprints_match(self, corpus, rebuilt):
+        assert corpus_fingerprint(rebuilt) == corpus_fingerprint(corpus)
+
+    def test_rebuild_content_matches(self, corpus, rebuilt):
+        # Deep digest over every app, pinning spec, endpoint and CT entry
+        # — far stronger than the shape fingerprint.
+        assert content_fingerprint(rebuilt) == content_fingerprint(corpus)
+
+    def test_content_fingerprint_separates_seeds(self):
+        a = CorpusGenerator(CorpusConfig(seed=1).scaled(0.01)).generate()
+        b = CorpusGenerator(CorpusConfig(seed=2).scaled(0.01)).generate()
+        assert content_fingerprint(a) != content_fingerprint(b)
+
+    @pytest.mark.parametrize(
+        "key", [("android", "common"), ("ios", "popular")]
+    )
+    def test_per_app_results_identical_all_kinds(self, corpus, rebuilt, key):
+        """Units run against a rebuilt corpus are byte-identical."""
+        parent = _build_state(corpus, 30.0)
+        worker = _build_state(rebuilt, 30.0)
+        indices = tuple(range(min(3, len(corpus.dataset(*key)))))
+
+        static_unit = ("static", key[0], key[1], indices, None)
+        dynamic_unit = ("dynamic", key[0], key[1], indices, 0.0)
+        parent_static = _run_unit(parent, static_unit)
+        worker_static = _run_unit(worker, static_unit)
+        parent_dynamic = _run_unit(parent, dynamic_unit)
+        worker_dynamic = _run_unit(worker, dynamic_unit)
+
+        pins = tuple(
+            tuple(sorted(result.pinned_destinations))
+            for result in parent_dynamic
+        )
+        circ_unit = ("circumvent", key[0], key[1], indices, pins)
+        parent_circ = _run_unit(parent, circ_unit)
+        worker_circ = _run_unit(worker, circ_unit)
+
+        # TrafficCapture has no __eq__ (dataclass results holding one
+        # compare by capture identity), so byte-identical pickles are
+        # both the strongest and the only workable comparison.
+        for mine, theirs in (
+            (parent_static, worker_static),
+            (parent_dynamic, worker_dynamic),
+            (parent_circ, worker_circ),
+        ):
+            assert pickle.dumps(mine) == pickle.dumps(theirs)
+
+    def test_store_entries_hit_across_the_rebuild_boundary(
+        self, corpus, rebuilt, tmp_path
+    ):
+        """Results published against the parent corpus are found by a
+        store handle keyed on the rebuilt corpus — the property that
+        makes warm runs independent of which process built the corpus."""
+        unit = ("static", "android", "common", (0, 1), None)
+        results = _run_unit(_build_state(corpus, 30.0), unit)
+        ResultStore(tmp_path, corpus).publish_unit(unit, results)
+        warm = ResultStore(tmp_path, rebuilt).lookup_unit(unit)
+        assert warm == results
+
+
+class TestWorkerBootstrap:
+    def test_auto_mode_ships_spec_not_corpus(self, corpus):
+        bootstrap = WorkerBootstrap.for_corpus(corpus)
+        assert bootstrap.spec is not None
+        assert bootstrap.corpus is None
+
+    def test_spec_bootstrap_is_at_least_10x_smaller(self, corpus):
+        bootstrap = WorkerBootstrap.for_corpus(corpus)
+        full = len(pickle.dumps(corpus))
+        assert bootstrap.payload_bytes() * 10 <= full
+
+    def test_pickle_mode_ships_corpus(self, corpus):
+        bootstrap = WorkerBootstrap.for_corpus(corpus, mode="pickle")
+        assert bootstrap.corpus is corpus
+        assert bootstrap.payload_bytes() >= len(pickle.dumps(corpus))
+
+    def test_spec_mode_rejects_unrepresentable_corpus(self):
+        with pytest.raises(ValueError):
+            WorkerBootstrap.for_corpus(_mutated_corpus(), mode="spec")
+
+    def test_auto_mode_falls_back_to_pickle(self):
+        corpus = _mutated_corpus()
+        bootstrap = WorkerBootstrap.for_corpus(corpus)
+        assert bootstrap.spec is None
+        assert bootstrap.corpus is corpus
+
+    def test_resolve_rebuilds_and_verifies(self, corpus, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_PARENT_CORPUS", None)
+        resolved, how = WorkerBootstrap.for_corpus(corpus).resolve()
+        assert how == "rebuilt"
+        assert corpus_fingerprint(resolved) == corpus_fingerprint(corpus)
+
+    def test_resolve_prefers_forked_parent(self, corpus, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_PARENT_CORPUS", corpus)
+        resolved, how = WorkerBootstrap.for_corpus(corpus).resolve()
+        assert how == "inherited"
+        assert resolved is corpus
+
+    def test_resolve_rejects_divergent_rebuild(self, corpus, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_PARENT_CORPUS", None)
+        spec = CorpusSpec.from_corpus(corpus)
+        bad = WorkerBootstrap(fingerprint="not-the-fingerprint", spec=spec)
+        with pytest.raises(RuntimeError):
+            bad.resolve()

@@ -1,0 +1,148 @@
+"""Tests for repro.core.exec.payload: the pool-boundary result codec.
+
+The codec's contract is that ``decode(encode(result))`` reproduces the
+original result in every field any analysis reads, while the encoded
+form is strictly smaller than pickling the result objects themselves.
+Whole-object pickles are *not* compared: interning changes which equal
+values share identity, which changes pickle memo references without
+changing any value — the comparison here is field-by-field instead.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.exec.engine import _build_state, _run_unit
+from repro.core.exec.payload import Rehydrator, encode_unit
+from repro.corpus import CorpusConfig, CorpusGenerator
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusGenerator(CorpusConfig(seed=1337).scaled(0.015)).generate()
+
+
+@pytest.fixture(scope="module")
+def state(corpus):
+    return _build_state(corpus, 30.0)
+
+
+@pytest.fixture(scope="module")
+def rehydrator(corpus):
+    return Rehydrator(corpus)
+
+
+def _results(state, kind, extra=None, indices=(0, 1, 2)):
+    return _run_unit(state, (kind, "android", "common", indices, extra))
+
+
+def _circumvent_results(state, indices=(0, 1, 2)):
+    dynamic = _results(state, "dynamic", 0.0, indices)
+    pins = tuple(tuple(sorted(r.pinned_destinations)) for r in dynamic)
+    return _results(state, "circumvent", pins, indices)
+
+
+def assert_captures_equal(a, b):
+    assert len(a.flows) == len(b.flows)
+    for fa, fb in zip(a.flows, b.flows):
+        assert vars(fa).keys() == vars(fb).keys()
+        for attr in vars(fa):
+            assert getattr(fa, attr) == getattr(fb, attr), attr
+
+
+def assert_dynamic_equal(a, b):
+    assert a.app_id == b.app_id
+    assert a.platform == b.platform
+    assert a.verdicts == b.verdicts
+    assert a.excluded_destinations == b.excluded_destinations
+    assert a.reran_with_wait == b.reran_with_wait
+    assert_captures_equal(a.direct_capture, b.direct_capture)
+    assert_captures_equal(a.mitm_capture, b.mitm_capture)
+
+
+def assert_circumvent_equal(a, b):
+    if a is None or b is None:
+        assert a is None and b is None
+        return
+    assert a.app_id == b.app_id
+    assert a.platform == b.platform
+    assert a.bypassed_destinations == b.bypassed_destinations
+    assert a.resistant_destinations == b.resistant_destinations
+    assert_captures_equal(a.hooked_capture, b.hooked_capture)
+
+
+class TestRoundTrip:
+    def test_static_round_trips_equal(self, state, rehydrator):
+        results = _results(state, "static")
+        decoded = rehydrator.decode_unit(encode_unit("static", results))
+        assert decoded == results
+
+    def test_dynamic_round_trips_equal(self, state, rehydrator):
+        results = _results(state, "dynamic", 0.0)
+        decoded = rehydrator.decode_unit(encode_unit("dynamic", results))
+        for original, rebuilt in zip(results, decoded):
+            assert_dynamic_equal(original, rebuilt)
+
+    def test_circumvent_round_trips_equal(self, state, rehydrator):
+        results = _circumvent_results(state)
+        decoded = rehydrator.decode_unit(encode_unit("circumvent", results))
+        assert len(decoded) == len(results)
+        for original, rebuilt in zip(results, decoded):
+            assert_circumvent_equal(original, rebuilt)
+
+    def test_circumvent_none_entries_survive(self, state, rehydrator):
+        # Apps the circumvention pipeline skips yield None in the unit's
+        # result list; the codec must pass them through untouched.
+        real = _circumvent_results(state, indices=(0,))
+        mixed = [None, real[0], None]
+        decoded = rehydrator.decode_unit(encode_unit("circumvent", mixed))
+        assert decoded[0] is None and decoded[2] is None
+        assert_circumvent_equal(decoded[1], real[0])
+
+    def test_unknown_kind_passes_through(self, rehydrator):
+        payload = encode_unit("mystery", [1, "two", (3,)])
+        assert rehydrator.decode_unit(payload) == [1, "two", (3,)]
+
+
+class TestCompaction:
+    @pytest.mark.parametrize(
+        "kind,extra", [("static", None), ("dynamic", 0.0)]
+    )
+    def test_encoded_form_is_smaller(self, state, kind, extra):
+        results = _results(state, kind, extra, indices=tuple(range(5)))
+        plain = len(pickle.dumps(results))
+        encoded = len(pickle.dumps(encode_unit(kind, results)))
+        assert encoded < plain
+
+    def test_rehydration_memoizes_against_parent(self, corpus, state):
+        # Certificates decode to the *same* interned objects across
+        # units, so a large study does not re-parse per unit.
+        rehydrator = Rehydrator(corpus)
+        first = rehydrator.decode_unit(
+            encode_unit("static", _results(state, "static"))
+        )
+        memo_size = len(rehydrator._certs)
+        second = rehydrator.decode_unit(
+            encode_unit("static", _results(state, "static"))
+        )
+        assert memo_size > 0
+        assert len(rehydrator._certs) == memo_size
+        assert first == second
+
+
+class TestEnvelope:
+    def test_bad_magic_rejected(self, state, rehydrator):
+        payload = encode_unit(
+            "static", _results(state, "static", indices=(0,))
+        )
+        tampered = ("not-the-magic",) + payload[1:]
+        with pytest.raises(ValueError):
+            rehydrator.decode_unit(tampered)
+
+    def test_future_version_rejected(self, state, rehydrator):
+        payload = encode_unit(
+            "static", _results(state, "static", indices=(0,))
+        )
+        tampered = (payload[0], 999) + payload[2:]
+        with pytest.raises(ValueError):
+            rehydrator.decode_unit(tampered)
