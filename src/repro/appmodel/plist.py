@@ -12,8 +12,16 @@ from __future__ import annotations
 import plistlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
+from xml.parsers.expat import ExpatError
 
 from repro.errors import AppModelError
+
+#: What :func:`plistlib.loads` raises on malformed input — and nothing
+#: broader.  ``InvalidFileException`` subclasses ``ValueError``, which
+#: also covers binary-plist struct errors; ``ExpatError`` covers broken
+#: XML.  A ``TypeError``/``AttributeError`` from a caller bug must
+#: propagate, not be swallowed as "malformed plist".
+_PLIST_PARSE_ERRORS = (ExpatError, ValueError)
 
 
 @dataclass
@@ -62,8 +70,13 @@ class InfoPlist:
     def from_plist_xml(cls, text: str) -> "InfoPlist":
         try:
             payload = plistlib.loads(text.encode("utf-8"))
-        except Exception as exc:
+        except _PLIST_PARSE_ERRORS as exc:
             raise AppModelError(f"malformed Info.plist: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise AppModelError(
+                f"malformed Info.plist: top level is "
+                f"{type(payload).__name__}, expected dict"
+            )
         try:
             info = cls(
                 bundle_id=payload["CFBundleIdentifier"],
@@ -115,8 +128,13 @@ class Entitlements:
     def from_plist_xml(cls, text: str) -> "Entitlements":
         try:
             payload = plistlib.loads(text.encode("utf-8"))
-        except Exception as exc:
+        except _PLIST_PARSE_ERRORS as exc:
             raise AppModelError(f"malformed entitlements: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise AppModelError(
+                f"malformed entitlements: top level is "
+                f"{type(payload).__name__}, expected dict"
+            )
         identifier = payload.get("application-identifier", "TEAMID.unknown")
         bundle_id = identifier.split(".", 1)[1] if "." in identifier else identifier
         domains = tuple(

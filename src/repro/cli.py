@@ -8,6 +8,8 @@ Commands:
   ``figure2``, ...).
 * ``score``    — run the dynamic pipeline and print detector
   precision/recall against corpus ground truth.
+* ``verify``   — run the study, audit it against ground truth and the
+  invariant catalogue, and exit non-zero on any violation.
 * ``corpus``   — generate a corpus and print its composition.
 """
 
@@ -103,10 +105,18 @@ def _cmd_corpus(args) -> int:
     return 0
 
 
+def _write_audit_json(report, path: str) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_json_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def _cmd_study(args) -> int:
     # Fail on an unwritable export path *before* the run, not after a
     # multi-hour study has produced results it then cannot write.
-    for path in (args.trace_out, args.metrics_out):
+    for path in (args.trace_out, args.metrics_out, args.audit_out):
         if path:
             parent = os.path.dirname(path) or "."
             if not os.path.isdir(parent):
@@ -134,7 +144,13 @@ def _cmd_study(args) -> int:
             read=not args.no_store_read,
             write=not args.no_store_write,
         )
-    results = study.run(resume=args.resume, recorder=recorder, store=store)
+    audit_enabled = args.audit or args.audit_out is not None
+    results = study.run(
+        resume=args.resume,
+        recorder=recorder,
+        store=store,
+        audit=args.audit_level if audit_enabled else False,
+    )
     print(f"# study completed in {stopwatch.elapsed():.0f}s", file=sys.stderr)
     if store is not None:
         print(f"# result store: {store.stats.describe()}", file=sys.stderr)
@@ -157,6 +173,17 @@ def _cmd_study(args) -> int:
     print()
     print(f"circumvention android: {results.circumvention_rate('android'):.2%}")
     print(f"circumvention ios    : {results.circumvention_rate('ios'):.2%}")
+    if results.audit is not None:
+        # The audit is commentary about the run, not part of the study's
+        # deterministic stdout contract — route it to stderr so output
+        # diffs (e.g. the CI parallel-parity check) stay byte-identical
+        # with and without --audit.
+        print(results.audit.render(), file=sys.stderr)
+        if args.audit_out:
+            _write_audit_json(results.audit, args.audit_out)
+            print(f"# audit report written to {args.audit_out}", file=sys.stderr)
+        if not results.audit.passed:
+            return 1
     return 0
 
 
@@ -193,6 +220,28 @@ def _cmd_score(args) -> int:
             f"app P={app.precision:.3f} R={app.recall:.3f}"
         )
     return 0
+
+
+def _cmd_verify(args) -> int:
+    if args.out:
+        parent = os.path.dirname(args.out) or "."
+        if not os.path.isdir(parent):
+            print(
+                f"error: output directory does not exist: {parent}",
+                file=sys.stderr,
+            )
+            return 2
+    corpus = _build_corpus(args)
+    study = Study(corpus, plan=_plan(args), fault_predicate=_faults(args))
+    results = study.run(audit=args.level)
+    if results.failures:
+        _report_ledger(results)
+    report = results.audit
+    print(report.render())
+    if args.out:
+        _write_audit_json(report, args.out)
+        print(f"# audit report written to {args.out}", file=sys.stderr)
+    return 0 if report.passed else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -281,10 +330,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="instrument the run and write flat metrics JSON (counters, "
         "gauges, histograms, cache hit rates) here",
     )
+    study.add_argument(
+        "--audit",
+        action="store_true",
+        help="after the run, score every detector against corpus ground "
+        "truth and check the StudyResults invariant catalogue; the "
+        "report goes to stderr and a failed audit exits non-zero",
+    )
+    study.add_argument(
+        "--audit-level",
+        choices=["standard", "deep"],
+        default="standard",
+        help="'standard' = oracle + invariants; 'deep' adds a serial "
+        "re-execution determinism check (runs the study twice)",
+    )
+    study.add_argument(
+        "--audit-out",
+        metavar="PATH",
+        default=None,
+        help="write the audit report as JSON here (implies --audit; "
+        "validates against schemas/audit_report.schema.json)",
+    )
     table = sub.add_parser("table", help="print one table/figure")
     table.add_argument("name", choices=TABLE_CHOICES + ["figure4"])
     table.add_argument("--csv", action="store_true")
     sub.add_parser("score", help="detector precision/recall vs ground truth")
+    verify = sub.add_parser(
+        "verify",
+        help="run the study and audit it: detector scores vs ground "
+        "truth, invariant catalogue, optional determinism check",
+    )
+    verify.add_argument(
+        "--level",
+        choices=["standard", "deep"],
+        default="standard",
+        help="'standard' = oracle + invariants; 'deep' adds a serial "
+        "re-execution determinism check (runs the study twice)",
+    )
+    verify.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the audit report as JSON here",
+    )
 
     args = parser.parse_args(argv)
     handlers = {
@@ -292,6 +380,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "study": _cmd_study,
         "table": _cmd_table,
         "score": _cmd_score,
+        "verify": _cmd_verify,
     }
     return handlers[args.command](args)
 

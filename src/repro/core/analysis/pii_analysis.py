@@ -71,11 +71,13 @@ def pii_table(comparisons: Iterable[PIIComparison]) -> Table:
     for comparison in comparisons:
         for pii_type in TABLE9_TYPES:
             row = comparison.row(pii_type)
+            # A side with no decrypted flows has no rate — render the
+            # no-data dash, not a fabricated 0.00%.
             table.add_row(
                 comparison.platform.capitalize(),
                 pii_type,
-                percent(row.pinned_rate),
-                percent(row.non_pinned_rate),
+                percent(row.pinned_rate if row.pinned_total else None),
+                percent(row.non_pinned_rate if row.non_pinned_total else None),
                 "*" if row.significant else "",
             )
     return table

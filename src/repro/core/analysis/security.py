@@ -67,10 +67,12 @@ def cipher_table(
             cell = cells.get((platform, dataset))
             if cell is None:
                 continue
+            # Distinguish "no pinning apps to measure" from a measured
+            # 0 % — the lenient rate collapses both to 0.0.
             table.add_row(
                 dataset.capitalize(),
                 "Android" if platform == "android" else "iOS",
-                percent(cell.overall_rate),
-                percent(cell.pinning_rate),
+                percent(cell.overall_rate if cell.total_apps else None),
+                percent(cell.pinning_rate if cell.pinning_apps else None),
             )
     return table

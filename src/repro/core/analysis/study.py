@@ -8,6 +8,7 @@ method per paper table/figure.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -53,6 +54,9 @@ class StudyResults:
     #: every other field holds *partial* results that exclude exactly
     #: these apps.
     failures: List[UnitFailure] = field(default_factory=list)
+    #: The capture window the run used (``Study.sleep_s``); the audit
+    #: layer needs it to derive dynamic ground truth.
+    window_s: float = 30.0
     #: The telemetry recorder the run was instrumented with, or None when
     #: telemetry was off.  Excluded from comparison: two runs with the
     #: same inputs produce equal results whether or not either was
@@ -60,6 +64,10 @@ class StudyResults:
     telemetry: Optional["obs_mod.Recorder"] = field(
         default=None, repr=False, compare=False
     )
+    #: The audit report attached by ``Study.run(audit=...)``, or None
+    #: when the run was not audited.  Excluded from comparison like the
+    #: recorder: auditing never perturbs results.
+    audit: Optional[object] = field(default=None, repr=False, compare=False)
     #: Memoized derived views.  Every table method funnels through a small
     #: set of expensive aggregations (prevalence cells, pair
     #: classifications, per-app indexes); rendering all tables repeatedly
@@ -78,7 +86,18 @@ class StudyResults:
 
     def dynamic_by_app(self, platform: str) -> Dict[str, DynamicAppResult]:
         """Per-app dynamic results for one platform (cached; treat the
-        returned dict as read-only — callers share one instance)."""
+        returned dict as read-only — callers share one instance).
+
+        An app sampled into more than one dataset has one result per
+        dataset.  Precedence is the sorted dataset order — ``common`` <
+        ``popular`` < ``random``, first wins — which keeps the iOS
+        Common 120 s re-run results authoritative for pair apps.  Each
+        shadowed duplicate bumps the ``study.dynamic_by_app.shadowed``
+        counter, and a duplicate whose pinned destinations *differ* from
+        the winner's additionally warns: that is a cross-dataset
+        measurement inconsistency worth a human look, not just
+        redundancy.
+        """
 
         def compute() -> Dict[str, DynamicAppResult]:
             out: Dict[str, DynamicAppResult] = {}
@@ -86,14 +105,31 @@ class StudyResults:
                 if plat != platform:
                     continue
                 for result in results:
-                    out.setdefault(result.app_id, result)
+                    winner = out.setdefault(result.app_id, result)
+                    if winner is result:
+                        continue
+                    obs_mod.count("study.dynamic_by_app.shadowed")
+                    if winner.pinned_destinations != result.pinned_destinations:
+                        warnings.warn(
+                            f"dynamic results for {platform} app "
+                            f"{result.app_id!r} disagree across datasets: "
+                            f"keeping pinned={sorted(winner.pinned_destinations)}, "
+                            f"shadowing pinned={sorted(result.pinned_destinations)}",
+                            stacklevel=2,
+                        )
             return out
 
         return self._memo(("dynamic_by_app", platform), compute)
 
     def static_by_app(self, platform: str) -> Dict[str, StaticAppReport]:
         """Per-app static reports for one platform (cached; treat the
-        returned dict as read-only — callers share one instance)."""
+        returned dict as read-only — callers share one instance).
+
+        Duplicate-app precedence matches :meth:`dynamic_by_app`:
+        sorted dataset order, first occurrence wins.  Shadowed
+        duplicates bump ``study.static_by_app.shadowed`` and warn when
+        the shadowed report's findings differ from the winner's.
+        """
 
         def compute() -> Dict[str, StaticAppReport]:
             out: Dict[str, StaticAppReport] = {}
@@ -101,7 +137,24 @@ class StudyResults:
                 if plat != platform:
                     continue
                 for report in reports:
-                    out.setdefault(report.app_id, report)
+                    winner = out.setdefault(report.app_id, report)
+                    if winner is report:
+                        continue
+                    obs_mod.count("study.static_by_app.shadowed")
+                    if (
+                        bool(winner.embedded_material)
+                        != bool(report.embedded_material)
+                        or bool(winner.nsc_pins) != bool(report.nsc_pins)
+                    ):
+                        warnings.warn(
+                            f"static reports for {platform} app "
+                            f"{report.app_id!r} disagree across datasets: "
+                            f"keeping (material={bool(winner.embedded_material)}, "
+                            f"nsc={bool(winner.nsc_pins)}), shadowing "
+                            f"(material={bool(report.embedded_material)}, "
+                            f"nsc={bool(report.nsc_pins)})",
+                            stacklevel=2,
+                        )
             return out
 
         return self._memo(("static_by_app", platform), compute)
@@ -349,6 +402,7 @@ class Study:
         store=None,
         store_read: bool = True,
         store_write: bool = True,
+        audit: Union[bool, str] = False,
     ) -> StudyResults:
         """Execute every pipeline stage; deterministic for a given corpus
         and identical for every execution plan.
@@ -384,6 +438,12 @@ class Study:
                 without ``store``; ``False`` forces a repopulating run).
             store_write: publish computed results (ignored without
                 ``store``).
+            audit: run the ground-truth audit over the finished results
+                and attach the report as ``StudyResults.audit``.  Pass
+                ``True`` (or ``"standard"``) for the oracle + invariant
+                pass, or ``"deep"`` to add the serial-re-run determinism
+                check.  Auditing reads the results; it never changes
+                them.
         """
         checkpoint: Optional[StudyCheckpoint] = None
         if recorder is not None:
@@ -407,6 +467,12 @@ class Study:
         try:
             results = self._run(checkpoint)
             results.telemetry = recorder
+            if audit:
+                from repro.core.verify import audit_study
+
+                level = "standard" if audit is True else audit
+                with obs_mod.span("phase.audit", cat="study"):
+                    results.audit = audit_study(results, level=level)
             return results
         finally:
             if checkpoint is not None:
@@ -536,4 +602,5 @@ class Study:
             circumvention=circumvention,
             pii=pii,
             failures=ledger,
+            window_s=self.sleep_s,
         )

@@ -1,0 +1,50 @@
+"""Ground-truth verification layer (DESIGN.md §12).
+
+Turns the corpus's known ground truth into a permanent bug detector:
+
+* :mod:`repro.core.verify.oracle` — scores every detector (static
+  content scans, SPKI search, NSC extraction, dynamic classification,
+  circumvention) against corpus truth with paper-calibrated tolerance
+  bands;
+* :mod:`repro.core.verify.invariants` — ~15 cross-pipeline consistency
+  rules over :class:`~repro.core.analysis.study.StudyResults`;
+* :mod:`repro.core.verify.report` — the :class:`AuditReport` artefact
+  and the :func:`audit_study` entry point (``Study.run(audit=...)``,
+  ``repro verify``, ``repro study --audit``).
+"""
+
+from repro.core.verify.invariants import (
+    RULE_CATALOG,
+    RuleResult,
+    Violation,
+    run_invariants,
+)
+from repro.core.verify.oracle import (
+    DEFAULT_BANDS,
+    OracleScore,
+    ToleranceBand,
+    run_oracle,
+)
+from repro.core.verify.report import (
+    AUDIT_LEVELS,
+    AuditReport,
+    DeterminismCheck,
+    audit_study,
+    study_digest,
+)
+
+__all__ = [
+    "AUDIT_LEVELS",
+    "AuditReport",
+    "DEFAULT_BANDS",
+    "DeterminismCheck",
+    "OracleScore",
+    "RULE_CATALOG",
+    "RuleResult",
+    "ToleranceBand",
+    "Violation",
+    "audit_study",
+    "run_invariants",
+    "run_oracle",
+    "study_digest",
+]

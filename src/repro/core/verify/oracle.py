@@ -1,0 +1,248 @@
+"""The ground-truth differential oracle (DESIGN.md §12).
+
+Every detector in the reproduction is scored against the corpus's known
+ground truth — the one advantage a synthetic corpus has over the
+original study.  Five detectors are audited, each per platform where the
+technique applies:
+
+* ``static-material`` — content-scan certificate/pin discovery
+  (Table 3's "Embedded Certificates" predicate);
+* ``spki-search`` — the SPKI-hash regex channels (text + native
+  strings);
+* ``nsc-extraction`` — the prior-work NSC pin-set technique (Android);
+* ``dynamic-destinations`` — the differential pinned-destination
+  classifier, scored per destination;
+* ``circumvention`` — Frida bypass verdicts vs hookability ground
+  truth, scored per pinned destination.
+
+Each score carries a *tolerance band*: the minimum precision/recall/F1
+the detector must sustain.  On the calibrated corpus (any seed, default
+knobs) every detector is exact — the simulation's blind spots
+(obfuscation, dormancy, capture windows) are already encoded in the
+truth predicates of :mod:`repro.corpus.groundtruth` — so the bands sit
+near 1.0, with a small allowance on the dynamic/circumvention legs for
+the harness's deterministic transient-failure model.  A detector
+regression (a broken regex anchor, a mis-threaded heuristic flag, an
+exclusion list applied twice) lands outside its band and fails the
+audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core import obs
+from repro.core.analysis.scoring import DetectionScore
+from repro.core.dynamic.pipeline import DynamicAppResult
+from repro.core.static.report import StaticAppReport
+from repro.corpus import groundtruth
+from repro.corpus.datasets import AppCorpus
+
+
+@dataclass(frozen=True)
+class ToleranceBand:
+    """Paper-calibrated floor for one detector's metrics."""
+
+    min_precision: float = 1.0
+    min_recall: float = 1.0
+    min_f1: float = 1.0
+
+    def violations(self, score: DetectionScore) -> List[str]:
+        out: List[str] = []
+        if score.precision < self.min_precision:
+            out.append(
+                f"precision {score.precision:.4f} < {self.min_precision:.4f}"
+            )
+        if score.recall < self.min_recall:
+            out.append(f"recall {score.recall:.4f} < {self.min_recall:.4f}")
+        if score.f1 < self.min_f1:
+            out.append(f"F1 {score.f1:.4f} < {self.min_f1:.4f}")
+        return out
+
+
+#: Default bands.  The static techniques are deterministic functions of
+#: the package tree, so they must be exact.  The dynamic and
+#: circumvention legs ride the automation harness, whose deterministic
+#: transient-failure model (~1.5 % per connection) can cost isolated
+#: destinations at unlucky seeds; their floors leave room for that and
+#: nothing more.
+DEFAULT_BANDS: Dict[str, ToleranceBand] = {
+    "static-material": ToleranceBand(),
+    "spki-search": ToleranceBand(),
+    "nsc-extraction": ToleranceBand(),
+    "dynamic-destinations": ToleranceBand(0.97, 0.97, 0.97),
+    "circumvention": ToleranceBand(0.95, 0.95, 0.95),
+}
+
+
+@dataclass
+class OracleScore:
+    """One detector's score on one platform, judged against its band."""
+
+    detector: str
+    platform: str
+    score: DetectionScore
+    band: ToleranceBand
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        state = "ok" if self.passed else "OUT OF BAND: " + "; ".join(
+            self.violations
+        )
+        return (
+            f"{self.detector}/{self.platform} "
+            f"P={self.score.precision:.4f} R={self.score.recall:.4f} "
+            f"F1={self.score.f1:.4f} ({state})"
+        )
+
+
+def _binary_score(pairs: Iterable) -> DetectionScore:
+    """Confusion counts over (truth, detected) boolean pairs."""
+    score = DetectionScore()
+    for truth, detected in pairs:
+        if truth and detected:
+            score.true_positives += 1
+        elif detected and not truth:
+            score.false_positives += 1
+        elif truth and not detected:
+            score.false_negatives += 1
+    return score
+
+
+def score_static_material(
+    corpus: AppCorpus, reports: Iterable[StaticAppReport]
+) -> DetectionScore:
+    """Content-scan discovery vs :func:`groundtruth.embeds_static_material`."""
+    return _binary_score(
+        (
+            groundtruth.embeds_static_material(corpus.find_app(r.app_id).app),
+            r.embedded_material,
+        )
+        for r in reports
+    )
+
+
+def score_spki_search(
+    corpus: AppCorpus, reports: Iterable[StaticAppReport]
+) -> DetectionScore:
+    """SPKI-hash channels vs :func:`groundtruth.has_greppable_spki_pins`."""
+    return _binary_score(
+        (
+            groundtruth.has_greppable_spki_pins(corpus.find_app(r.app_id).app),
+            bool(r.scan.unique_pins()),
+        )
+        for r in reports
+    )
+
+
+def score_nsc_extraction(
+    corpus: AppCorpus, reports: Iterable[StaticAppReport]
+) -> DetectionScore:
+    """NSC pin-set extraction vs :func:`groundtruth.has_nsc_pin_sets`."""
+    return _binary_score(
+        (
+            groundtruth.has_nsc_pin_sets(corpus.find_app(r.app_id).app),
+            r.nsc_pins,
+        )
+        for r in reports
+    )
+
+
+def score_dynamic_destinations(
+    corpus: AppCorpus,
+    results: Iterable[DynamicAppResult],
+    window_s: float = 30.0,
+) -> DetectionScore:
+    """Differential classifier vs runtime truth, per destination."""
+    score = DetectionScore()
+    for result in results:
+        truth = groundtruth.runtime_pinned_within(
+            corpus.find_app(result.app_id).app, window_s
+        )
+        score.add(truth, set(result.pinned_destinations))
+    return score
+
+
+def score_circumvention(
+    corpus: AppCorpus, platform: str, circumvention_results: Iterable
+) -> DetectionScore:
+    """Bypass verdicts vs hookability truth, per pinned destination.
+
+    "Positive" is *bypassed*: a hookable destination the hooked run
+    failed to decrypt is a false negative; an unhookable (custom-TLS)
+    destination reported bypassed is a false positive.
+    """
+    score = DetectionScore()
+    for circ in circumvention_results:
+        pinned = circ.bypassed_destinations | circ.resistant_destinations
+        truth_bypassable, _ = groundtruth.bypassable_split(
+            corpus, circ.app_id, platform, pinned
+        )
+        score.add(truth_bypassable, set(circ.bypassed_destinations))
+    return score
+
+
+def run_oracle(
+    results,
+    window_s: float = 30.0,
+    bands: Optional[Dict[str, ToleranceBand]] = None,
+) -> List[OracleScore]:
+    """Score every detector in a :class:`StudyResults` against truth.
+
+    Args:
+        results: a completed study run.
+        window_s: the run's capture window (``Study.sleep_s``) — the
+            dynamic truth predicate depends on it.
+        bands: tolerance overrides; defaults to :data:`DEFAULT_BANDS`.
+    """
+    bands = dict(DEFAULT_BANDS, **(bands or {}))
+    corpus = results.corpus
+    scores: List[OracleScore] = []
+
+    def judge(detector: str, platform: str, score: DetectionScore) -> None:
+        band = bands[detector]
+        entry = OracleScore(
+            detector=detector,
+            platform=platform,
+            score=score,
+            band=band,
+            violations=band.violations(score),
+        )
+        obs.count("verify.oracle.scored")
+        if not entry.passed:
+            obs.count("verify.oracle.out_of_band")
+        scores.append(entry)
+
+    for platform in ("android", "ios"):
+        reports = list(results.static_by_app(platform).values())
+        dynamic = list(results.dynamic_by_app(platform).values())
+        judge(
+            "static-material",
+            platform,
+            score_static_material(corpus, reports),
+        )
+        judge("spki-search", platform, score_spki_search(corpus, reports))
+        if platform == "android":
+            judge(
+                "nsc-extraction",
+                platform,
+                score_nsc_extraction(corpus, reports),
+            )
+        judge(
+            "dynamic-destinations",
+            platform,
+            score_dynamic_destinations(corpus, dynamic, window_s),
+        )
+        judge(
+            "circumvention",
+            platform,
+            score_circumvention(
+                corpus, platform, results.circumvention.get(platform, ())
+            ),
+        )
+    return scores

@@ -1,0 +1,107 @@
+"""Ground-truth accessors for detector auditing.
+
+The synthetic corpus knows exactly what every detector *should* find:
+which apps embed certificate material, which pin strings are greppable,
+which NSC configs carry pin-sets, which destinations are pinned at
+runtime, and which pinned destinations a Frida hook can bypass.  The
+verification layer (:mod:`repro.core.verify`) scores every detector
+against these predicates; they are factored out here so the oracle reads
+as a comparison between two independent derivations rather than a
+restatement of detector internals.
+
+Each predicate mirrors one *observable* truth — what a perfect
+implementation of the paper's technique could recover — not raw spec
+state.  Obfuscated material is excluded from the static predicates
+(invisible by design, Section 4.2), dormant specs from the runtime ones.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.appmodel.app import MobileApp
+from repro.appmodel.pinning import PinForm, PinMechanism
+from repro.core.circumvent.hooks import is_hookable
+from repro.corpus.datasets import AppCorpus
+
+
+def embeds_static_material(app: MobileApp) -> bool:
+    """Should the content scans find certificate/pin material?
+
+    True when a static-visible non-NSC spec ships material, or a
+    non-pinning SDK embeds a CA bundle (Table 3's "Embedded
+    Certificates" column counts both).
+    """
+    return app.embeds_pin_material()
+
+
+def has_greppable_spki_pins(app: MobileApp) -> bool:
+    """Should the SPKI-hash regex channels surface at least one pin?
+
+    SPKI-form specs emit ``shaN/<b64>`` tokens into code files (smali /
+    binary strings); obfuscated specs ship ``enc:``-mangled tokens the
+    regex must not match, and NSC pin-sets live in XML the hash channels
+    do not read.
+    """
+    return any(
+        spec.visible_to_static()
+        and spec.mechanism is not PinMechanism.NSC
+        and spec.form in (PinForm.SPKI_SHA256, PinForm.SPKI_SHA1)
+        for spec in app.pinning_specs
+    )
+
+
+def has_nsc_pin_sets(app: MobileApp) -> bool:
+    """Should NSC extraction report pins for this (Android) app?
+
+    Every NSC-mechanism spec materialises a ``<pin-set>`` in the config
+    XML — including override-neutralised ones, which the prior-work
+    technique still counts (the pins are present, just ineffective).
+    """
+    return any(
+        spec.mechanism is PinMechanism.NSC for spec in app.pinning_specs
+    )
+
+
+def runtime_pinned_within(app: MobileApp, window_s: float) -> Set[str]:
+    """Destinations pinned at runtime *and* contacted inside the window.
+
+    Pinned domains the app never contacts during the capture are
+    invisible to any dynamic method and excluded from scoring (the
+    paper's partial-observation limitation, Section 5.6).
+    """
+    return {
+        u.hostname
+        for u in app.behavior.usages_within(window_s)
+        if app.pins_domain(u.hostname)
+    }
+
+
+def bypassable_split(
+    corpus: AppCorpus, app_id: str, platform: str, pinned: Set[str]
+) -> Tuple[Set[str], Set[str]]:
+    """Partition an app's pinned destinations by Frida hookability.
+
+    Returns ``(bypassable, resistant)``: destinations whose validation
+    policy is implemented by a catalogued (hookable) library versus
+    custom TLS stacks that keep their pins.  This is the ground truth
+    the circumvention pipeline's decrypted-traffic verdicts are audited
+    against.
+    """
+    app = corpus.find_app(app_id).app
+    store = (
+        corpus.stores.android_aosp if platform == "android" else corpus.stores.ios
+    )
+    policy = app.runtime_policy(store)
+    bypassable: Set[str] = set()
+    resistant: Set[str] = set()
+    for destination in pinned:
+        override = policy.overrides.get(destination)
+        library = (
+            override.library if override is not None else policy.default.library
+        )
+        if is_hookable(library, platform):
+            bypassable.add(destination)
+        else:
+            resistant.add(destination)
+    return bypassable, resistant

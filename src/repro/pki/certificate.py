@@ -182,7 +182,13 @@ def parse_der(der: bytes) -> "ParsedCertificate":
         CertificateError: if the payload is not a canonical encoding.
     """
     try:
-        tbs, _, signature = der.rpartition(b"\x1f")
+        # Split on the *first* separator: the tbs side is structured UTF-8
+        # text that never contains 0x1f, but the signature is arbitrary
+        # bytes that may — rpartition would split inside such a signature
+        # and silently corrupt the spki field.
+        tbs, sep, signature = der.partition(b"\x1f")
+        if not sep:
+            raise ValueError("missing tbs/signature separator")
         fields = tbs.decode("utf-8").split("\x1e")
         subject, issuer, serial, nb, na, san, ca_flag, spki_hex = fields
         return ParsedCertificate(

@@ -7,7 +7,11 @@ harness can print the same rows the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
+
+#: What a cell with no data renders as — visually distinct from a true
+#: zero (``0.00%``), which is a measured value.
+NO_DATA = "—"
 
 
 @dataclass
@@ -60,11 +64,21 @@ class Table:
 
 
 def _fmt(cell: object) -> str:
+    if cell is None:
+        return NO_DATA
     if isinstance(cell, float):
         return f"{cell:.2f}"
     return str(cell)
 
 
-def percent(value: float, digits: int = 2) -> str:
-    """Render a ratio as a percentage string."""
+def percent(value: Optional[float], digits: int = 2) -> str:
+    """Render a ratio as a percentage string.
+
+    ``None`` — the "no data" sentinel from the strict stats helpers
+    (:func:`repro.util.stats.proportion_or_none`) — renders as
+    :data:`NO_DATA`, so an empty denominator can never masquerade as a
+    measured ``0.00%``.
+    """
+    if value is None:
+        return NO_DATA
     return f"{value * 100:.{digits}f}%"

@@ -8,6 +8,7 @@ certificate blobs delimited by ``-----BEGIN CERTIFICATE-----``.
 from __future__ import annotations
 
 import base64
+import binascii
 import hashlib
 import re
 from typing import List
@@ -53,8 +54,11 @@ def b64decode(text: str) -> bytes:
     """Decode base64, tolerating missing padding."""
     padded = text + "=" * (-len(text) % 4)
     try:
+        # binascii.Error (a ValueError subclass) is what b64decode raises
+        # on bad input; anything else — e.g. TypeError from passing bytes
+        # — is a caller bug and must propagate.
         return base64.b64decode(padded, validate=True)
-    except Exception as exc:
+    except binascii.Error as exc:
         raise EncodingError(f"invalid base64 payload: {text[:32]!r}...") from exc
 
 

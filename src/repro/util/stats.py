@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Set, TypeVar
+from typing import Optional, Sequence, Set, TypeVar
 
 T = TypeVar("T")
 
@@ -25,9 +25,27 @@ def jaccard_index(a: Set[T], b: Set[T]) -> float:
 
 
 def proportion(count: int, total: int) -> float:
-    """Safe ratio; 0.0 when the denominator is zero."""
+    """Lenient ratio; 0.0 when the denominator is zero.
+
+    Use only where a zero denominator genuinely *means* zero (e.g. "no
+    apps, so no pinning apps").  Anywhere the result is rendered, prefer
+    :func:`proportion_or_none` — collapsing "no data" into ``0.0`` made
+    empty denominators print as ``0.00%`` in paper tables, which reads
+    as a measured zero."""
     if total <= 0:
         return 0.0
+    return count / total
+
+
+def proportion_or_none(count: int, total: int) -> Optional[float]:
+    """Strict ratio; ``None`` (no data) when the denominator is zero.
+
+    ``None`` propagates to :func:`repro.reporting.tables.percent` and
+    cell formatting as "—", keeping "nothing to measure" visually
+    distinct from a measured 0 %.
+    """
+    if total <= 0:
+        return None
     return count / total
 
 
@@ -99,8 +117,21 @@ def chi_square_independence(
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean; 0.0 for an empty sequence."""
+    """Lenient arithmetic mean; 0.0 for an empty sequence.
+
+    As with :func:`proportion`, prefer :func:`mean_or_none` wherever the
+    value is rendered — an empty sequence has no mean, and printing one
+    as ``0.00`` fabricates data.
+    """
     values = list(values)
     if not values:
         return 0.0
+    return sum(values) / len(values)
+
+
+def mean_or_none(values: Sequence[float]) -> Optional[float]:
+    """Strict arithmetic mean; ``None`` (no data) for an empty sequence."""
+    values = list(values)
+    if not values:
+        return None
     return sum(values) / len(values)

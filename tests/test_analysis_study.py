@@ -222,3 +222,131 @@ class TestCertificateAnalyses:
                 small_corpus, study_results.all_dynamic(platform)
             )
             assert check.expired_accepted == 0  # Section 5.3.4
+
+
+class TestDuplicateAppPrecedence:
+    """An app sampled into several datasets: the per-app indexes keep the
+    sorted-first dataset's result (common < popular < random), count the
+    shadowed duplicates, and warn only when the duplicates disagree."""
+
+    @staticmethod
+    def _results_with_duplicate(pinned_common, pinned_random):
+        from repro.core.analysis.study import StudyResults
+        from repro.core.dynamic.detector import DestinationVerdict
+        from repro.core.dynamic.pipeline import DynamicAppResult
+
+        def result(pinned):
+            verdicts = {
+                d: DestinationVerdict(
+                    destination=d,
+                    used_direct=True,
+                    mitm_observed=True,
+                    mitm_all_failed=True,
+                    pinned=True,
+                )
+                for d in pinned
+            }
+            return DynamicAppResult(
+                app_id="app.dup", platform="android", verdicts=verdicts
+            )
+
+        return StudyResults(
+            corpus=None,
+            static_reports={},
+            dynamic_results={
+                ("android", "random"): [result(pinned_random)],
+                ("android", "common"): [result(pinned_common)],
+            },
+            circumvention={},
+            pii={},
+        )
+
+    def test_sorted_first_dataset_wins(self):
+        results = self._results_with_duplicate(
+            pinned_common={"a.example"}, pinned_random={"b.example"}
+        )
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("ignore")
+            by_app = results.dynamic_by_app("android")
+        assert by_app["app.dup"].pinned_destinations == {"a.example"}
+
+    def test_shadowed_duplicates_are_counted(self):
+        from repro.core import obs
+
+        results = self._results_with_duplicate(
+            pinned_common={"a.example"}, pinned_random={"a.example"}
+        )
+        recorder = obs.Recorder().install()
+        try:
+            results.dynamic_by_app("android")
+            # Memoized: a second call must not double-count.
+            results.dynamic_by_app("android")
+        finally:
+            recorder.uninstall()
+        assert recorder.counter_value("study.dynamic_by_app.shadowed") == 1
+
+    def test_agreeing_duplicates_do_not_warn(self):
+        import warnings as warnings_mod
+
+        results = self._results_with_duplicate(
+            pinned_common={"a.example"}, pinned_random={"a.example"}
+        )
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            results.dynamic_by_app("android")
+
+    def test_disagreeing_duplicates_warn(self):
+        import pytest
+
+        results = self._results_with_duplicate(
+            pinned_common={"a.example"}, pinned_random={"b.example"}
+        )
+        with pytest.warns(UserWarning, match="disagree across datasets"):
+            results.dynamic_by_app("android")
+
+    def test_static_precedence_matches(self):
+        import pytest
+
+        from repro.core.analysis.study import StudyResults
+        from repro.core.static.nsc_analysis import NSCAnalysis
+        from repro.core.static.report import StaticAppReport
+        from repro.core.static.search import ScanResult
+
+        def report(nsc_pins):
+            return StaticAppReport(
+                app_id="app.dup",
+                platform="android",
+                scan=ScanResult(),
+                nsc=NSCAnalysis(
+                    uses_nsc=nsc_pins, has_pins=nsc_pins,
+                    pins=["sha256/AAA"] if nsc_pins else [],
+                ),
+                ct=None,
+            )
+
+        results = StudyResults(
+            corpus=None,
+            static_reports={
+                ("android", "random"): [report(False)],
+                ("android", "popular"): [report(True)],
+            },
+            dynamic_results={},
+            circumvention={},
+            pii={},
+        )
+        with pytest.warns(UserWarning, match="disagree across datasets"):
+            by_app = results.static_by_app("android")
+        assert by_app["app.dup"].nsc_pins is True
+
+    def test_no_duplicates_in_real_study(self, study_results):
+        # The generated corpus keeps datasets disjoint per platform, so
+        # the real per-app indexes see no shadowing at all.
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            for platform in ("android", "ios"):
+                study_results.dynamic_by_app(platform)
+                study_results.static_by_app(platform)

@@ -75,3 +75,28 @@ class TestEntitlements:
     def test_malformed(self):
         with pytest.raises(AppModelError):
             Entitlements.from_plist_xml("garbage")
+
+
+class TestNarrowedExceptionContract:
+    """Parse errors wrap as AppModelError; caller bugs propagate."""
+
+    def test_binary_garbage_wraps(self):
+        with pytest.raises(AppModelError, match="malformed Info.plist"):
+            InfoPlist.from_plist_xml("bplist00-but-not-really\x00\x01")
+
+    def test_non_dict_top_level_wraps(self):
+        import plistlib
+
+        xml = plistlib.dumps(["an", "array"]).decode()
+        with pytest.raises(AppModelError, match="expected dict"):
+            InfoPlist.from_plist_xml(xml)
+        with pytest.raises(AppModelError, match="expected dict"):
+            Entitlements.from_plist_xml(xml)
+
+    def test_none_input_propagates_attribute_error(self):
+        # .encode on None — a caller bug the old `except Exception`
+        # silently relabelled as a malformed plist.
+        with pytest.raises(AttributeError):
+            InfoPlist.from_plist_xml(None)
+        with pytest.raises(AttributeError):
+            Entitlements.from_plist_xml(None)

@@ -107,6 +107,21 @@ class TestDERRoundtrip:
         with pytest.raises(CertificateError):
             parse_der(b"random junk")
 
+    def test_parse_der_signature_containing_separator(self, leaf):
+        # Signatures are arbitrary bytes and may contain the 0x1f
+        # tbs/signature separator; the parser must split on the *first*
+        # occurrence or it silently corrupts the spki field (and the
+        # static scanner then drops the certificate entirely).
+        signature = b"\x01\x1f\x02\x1f\x03"
+        der = leaf.tbs_bytes() + b"\x1f" + signature
+        parsed = parse_der(der)
+        assert parsed.spki_bytes == leaf.key.public_bytes
+        assert parsed.signature == signature
+
+    def test_parse_der_rejects_missing_separator(self, leaf):
+        with pytest.raises(CertificateError):
+            parse_der(leaf.tbs_bytes())
+
     def test_pem_contains_delimiters(self, leaf):
         pem = leaf.to_pem()
         assert pem.startswith("-----BEGIN CERTIFICATE-----")

@@ -78,3 +78,54 @@ class TestCipherTable:
         table = cipher_table(cells)
         assert len(table.rows) == 2
         assert table.rows[0][2] == "18.00%"
+
+
+class TestNoDataRendering:
+    """An empty denominator renders as the no-data dash, never 0.00%."""
+
+    def test_percent_none_is_no_data(self):
+        from repro.reporting.tables import NO_DATA
+
+        assert percent(None) == NO_DATA
+        assert NO_DATA not in percent(0.0)
+
+    def test_none_cell_formats_as_no_data(self):
+        from repro.reporting.tables import NO_DATA
+
+        table = Table(title="T", headers=["a"])
+        table.add_row(None)
+        assert NO_DATA in table.render()
+        assert NO_DATA in table.to_csv()
+
+    def test_prevalence_cell_distinguishes_empty_from_zero(self):
+        from repro.reporting.tables import NO_DATA
+
+        empty = PrevalenceCell(0, 0)
+        zero = PrevalenceCell(0, 50)
+        assert empty.render() == NO_DATA
+        assert empty.rate_or_none is None
+        assert zero.render() == "0.00% (0)"
+        assert zero.rate_or_none == 0.0
+
+    def test_cipher_table_empty_dataset(self):
+        from repro.reporting.tables import NO_DATA
+
+        cells = {
+            ("android", "popular"): CipherSecurityCell(
+                overall_rate=0.0, pinning_rate=0.0,
+                total_apps=0, pinning_apps=0,
+            ),
+            ("ios", "popular"): CipherSecurityCell(
+                overall_rate=0.25, pinning_rate=0.0,
+                total_apps=4, pinning_apps=2,
+            ),
+        }
+        rendered = cipher_table(cells).render()
+        rows = rendered.splitlines()
+        android_row = next(r for r in rows if "Android" in r)
+        ios_row = next(r for r in rows if "iOS" in r)
+        # No apps measured → both cells dash out.
+        assert android_row.count(NO_DATA) == 2
+        # Measured zero among pinning apps stays a real 0.00%.
+        assert "25.00%" in ios_row and "0.00%" in ios_row
+        assert NO_DATA not in ios_row

@@ -82,3 +82,20 @@ class TestPEM:
             "prefix -----BEGIN CERTIFICATE----- suffix"
         )
         assert not encoding.contains_pem_delimiter("nothing here")
+
+
+class TestB64DecodeExceptionContract:
+    def test_invalid_payload_raises_encoding_error(self):
+        with pytest.raises(EncodingError):
+            encoding.b64decode("!!!not-base64!!!")
+
+    def test_caller_type_bug_propagates(self):
+        # Passing bytes is a programming error, not malformed input —
+        # the narrowed handler must let it surface as TypeError instead
+        # of mislabelling it "invalid base64 payload".
+        with pytest.raises(TypeError):
+            encoding.b64decode(b"QUJD")
+
+    def test_none_propagates(self):
+        with pytest.raises(TypeError):
+            encoding.b64decode(None)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Validate an audit-report JSON against its checked-in schema.
+
+Usage:
+    python tools/validate_audit.py SCHEMA REPORT [REPORT ...] [--require-pass]
+
+Exits 0 when every report conforms (and, with ``--require-pass``, every
+report's audit verdict is PASS), 1 otherwise.
+
+Schema validation reuses the stdlib-only subset validator from
+``tools/validate_telemetry.py`` — one validator, two schemas, no
+third-party ``jsonschema`` dependency.  ``--require-pass`` goes one step
+further than shape: a structurally valid report that records a failed
+audit (``"passed": false``) fails the check, which is what CI wants —
+an audit job must fail on a detector out of band or a broken invariant,
+not only on malformed output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from validate_telemetry import validate_file  # noqa: E402
+
+
+def main(argv: List[str]) -> int:
+    require_pass = "--require-pass" in argv
+    argv = [a for a in argv if a != "--require-pass"]
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    schema_path, reports = argv[0], argv[1:]
+    status = 0
+    for report_path in reports:
+        violations = validate_file(schema_path, report_path)
+        if violations:
+            status = 1
+            print(f"{report_path}: INVALID")
+            for violation in violations:
+                print(f"  {violation}")
+            continue
+        with open(report_path) as handle:
+            report = json.load(handle)
+        if require_pass and not report.get("passed"):
+            status = 1
+            failed = [
+                entry["rule"]
+                for entry in report.get("invariants", [])
+                if not entry.get("passed")
+            ] + [
+                f"{entry['detector']}/{entry['platform']}"
+                for entry in report.get("oracle", [])
+                if not entry.get("passed")
+            ]
+            determinism = report.get("determinism")
+            if determinism and not determinism.get("passed"):
+                failed.append("determinism")
+            print(f"{report_path}: valid shape, but audit FAILED ({failed})")
+        else:
+            print(f"{report_path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
