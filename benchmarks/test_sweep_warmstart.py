@@ -1,0 +1,39 @@
+"""Sweep warm-start — cold full-detector point vs ablated sibling.
+
+A detector-ablated sweep point differs from its full-detector sibling
+only in an analysis-side knob, so every pipeline unit it needs is
+already in the shared store.  This benchmark quantifies the payoff: the
+warm point must hit the store for 100 % of its units and finish well
+under the cold point's wall-clock.
+"""
+
+import os
+
+from repro.core.sweep import SweepEngine, SweepSpec
+
+SWEEP_SCALE = float(os.environ.get("REPRO_BENCH_SWEEP_SCALE", "0.08"))
+
+
+def test_ablated_point_warm_starts(tmp_path, benchmark):
+    spec = SweepSpec(
+        seeds=(2022,), scales=(SWEEP_SCALE,), detectors=("full", "naive")
+    )
+
+    def run_sweep():
+        engine = SweepEngine(spec, store_dir=str(tmp_path / "store"))
+        return engine.run()
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    cold, warm = results.points
+    print(
+        f"\ncold (full): {cold.elapsed_s:.2f}s, "
+        f"{cold.store_misses} unit(s) computed | "
+        f"warm (naive): {warm.elapsed_s:.2f}s, "
+        f"hit rate {warm.store_hit_rate:.0%}"
+    )
+
+    # The ablated point replays every unit from the store.
+    assert warm.store_hit_rate == 1.0
+    assert warm.store_misses == 0
+    # Warm-start has to pay off in wall-clock, not just hit counters.
+    assert warm.elapsed_s < cold.elapsed_s

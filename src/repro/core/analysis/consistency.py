@@ -18,10 +18,10 @@ are computed here too.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.core.dynamic.pipeline import DynamicAppResult
-from repro.reporting.tables import Table, percent
+from repro.reporting.tables import Table, percent, ratio
 from repro.util.stats import jaccard_index
 
 
@@ -54,20 +54,24 @@ class ConsistencyClassification:
         pins_android / pins_ios: whether each side pinned at all.
         verdict: ``consistent`` / ``inconsistent`` / ``inconclusive`` /
             ``none``.
-        jaccard: overlap of the two pinned sets (both-platform pinners).
+        jaccard: overlap of the two pinned sets; ``None`` (no data)
+            unless both platforms pin — a pair with one empty pinned set
+            has no overlap to measure, and rendering a fabricated
+            ``0.00`` would read as a measured disjointness.
         android_cross_unpinned: fraction of Android-pinned domains seen
-            unpinned on iOS.
+            unpinned on iOS; ``None`` when Android pinned nothing (an
+            empty denominator is not a measured 0 %).
         ios_cross_unpinned: fraction of iOS-pinned domains seen unpinned
-            on Android.
+            on Android; ``None`` when iOS pinned nothing.
         identical_sets: both platforms pin exactly the same set.
     """
 
     pins_android: bool
     pins_ios: bool
     verdict: str
-    jaccard: float = 0.0
-    android_cross_unpinned: float = 0.0
-    ios_cross_unpinned: float = 0.0
+    jaccard: Optional[float] = None
+    android_cross_unpinned: Optional[float] = None
+    ios_cross_unpinned: Optional[float] = None
     identical_sets: bool = False
 
     @property
@@ -84,25 +88,28 @@ def classify_pair(obs: PairObservation) -> ConsistencyClassification:
     pins_android = bool(obs.android_pinned)
     pins_ios = bool(obs.ios_pinned)
 
+    # An empty pinned set has no cross-unpinned fraction: None (no data),
+    # never a fabricated 0.0 that downstream tables would print as a
+    # measured 0 %.
     android_cross = (
         len(obs.android_pinned & obs.ios_unpinned) / len(obs.android_pinned)
         if obs.android_pinned
-        else 0.0
+        else None
     )
     ios_cross = (
         len(obs.ios_pinned & obs.android_unpinned) / len(obs.ios_pinned)
         if obs.ios_pinned
-        else 0.0
+        else None
     )
 
     if not pins_android and not pins_ios:
         return ConsistencyClassification(False, False, "none")
 
-    inconsistent = android_cross > 0 or ios_cross > 0
+    inconsistent = (android_cross or 0.0) > 0 or (ios_cross or 0.0) > 0
     jaccard = (
         jaccard_index(obs.android_pinned, obs.ios_pinned)
         if (pins_android and pins_ios)
-        else 0.0
+        else None
     )
     common_pinned = obs.android_pinned & obs.ios_pinned
 
@@ -219,7 +226,7 @@ def figure3_table(
         if c.pins_both and c.verdict == "inconsistent":
             table.add_row(
                 name,
-                f"{c.jaccard:.2f}",
+                ratio(c.jaccard),
                 percent(c.android_cross_unpinned, 0),
                 percent(c.ios_cross_unpinned, 0),
             )

@@ -24,6 +24,11 @@ everything after the first bad byte, counts what it had to discard
 telemetry recorder when one is active, and raises a ``RuntimeWarning`` —
 mid-file data loss must never be silent, because every discarded record
 is a work unit the run will silently recompute.
+
+Only *corruption-shaped* failures are treated this way
+(:data:`_CORRUPTION_ERRORS`); a programming error raised while
+deserialising a record — say ``AttributeError`` from a renamed result
+class — propagates instead of being discarded as bit rot.
 """
 
 from __future__ import annotations
@@ -39,6 +44,22 @@ from repro.core import obs
 
 _MAGIC = "repro-study-checkpoint"
 _VERSION = 1
+
+#: What loading a *damaged* journal region can raise: truncated or
+#: bit-rotted pickle streams (``UnpicklingError`` / ``EOFError`` / the
+#: container errors) and records failing :func:`_validate_record`'s shape
+#: check (``ValueError``).  ``AttributeError`` / ``ImportError`` are
+#: deliberately absent — a journaled payload referencing a renamed class
+#: is a code bug, not bit rot, and discarding it as "corruption" would
+#: silently recompute every unit while hiding the rename.
+_CORRUPTION_ERRORS = (
+    pickle.UnpicklingError,
+    ValueError,
+    EOFError,
+    TypeError,
+    KeyError,
+    IndexError,
+)
 
 
 def unit_key(seed: int, sleep_s: float, unit) -> str:
@@ -96,7 +117,7 @@ def _next_record_offset(data: bytes, start: int) -> Optional[int]:
         fh.seek(position)
         try:
             _validate_record(pickle.load(fh))
-        except Exception:
+        except _CORRUPTION_ERRORS:
             pass
         else:
             return position
@@ -184,7 +205,7 @@ class StudyCheckpoint:
             try:
                 record = pickle.load(fh)
                 key, payload = _validate_record(record)
-            except Exception:
+            except _CORRUPTION_ERRORS:
                 # A record that does not load or does not look like one.
                 # EOFError here is NOT a clean end-of-journal (the loop
                 # condition already handles that): it is a truncated

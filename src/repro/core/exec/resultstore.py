@@ -56,9 +56,13 @@ Corruption contract
 A truncated or tampered entry must fall back to recompute with a
 ``RuntimeWarning`` — never a wrong result.  Every read re-hashes the
 payload against the stored digest and cross-checks the envelope
-fingerprint against the file name; any mismatch (or any unpickling
-error) invalidates the entry: it is counted, warned about, deleted, and
-treated as a miss so the engine recomputes and republishes it.  Writes
+fingerprint against the file name; any mismatch (or any error damaged
+bytes can produce, :data:`_CORRUPTION_ERRORS`) invalidates the entry: it
+is counted, warned about, deleted, and treated as a miss so the engine
+recomputes and republishes it.  A programming error during unpickling —
+e.g. an ``AttributeError`` from a renamed result class — propagates
+instead: it is not corruption, and silently recomputing would hide the
+missing :data:`CODE_SALT` bump behind a warm-looking run.  Writes
 go through a temp file and ``os.replace`` so a killed run never leaves
 a half-written entry under a valid name.
 """
@@ -84,6 +88,23 @@ _VERSION = 1
 #: result dataclass schemas: old entries stop hitting instead of feeding
 #: stale results into a new checkout.
 CODE_SALT = "pin-study-results-v1"
+
+#: What unpickling/validating a *damaged* entry can raise.  Truncated or
+#: bit-rotted pickle streams surface as :class:`pickle.UnpicklingError`,
+#: ``EOFError`` or one of the container errors below; the explicit
+#: envelope checks raise ``ValueError``.  Deliberately absent:
+#: ``AttributeError`` / ``ImportError`` — a payload referencing a renamed
+#: class or moved module is a code bug (a missed :data:`CODE_SALT` bump),
+#: not corruption, and must propagate instead of being silently
+#: invalidated and recomputed.
+_CORRUPTION_ERRORS = (
+    pickle.UnpicklingError,
+    ValueError,
+    EOFError,
+    TypeError,
+    KeyError,
+    IndexError,
+)
 
 
 def corpus_fingerprint(corpus) -> str:
@@ -285,7 +306,17 @@ class ResultStore:
         return payload
 
     def _decode_entry(self, blob: bytes, fingerprint: str, path: Path):
-        """Validate and unwrap one entry; invalidate on any defect."""
+        """Validate and unwrap one entry; invalidate on a *corrupt* entry.
+
+        Only errors that damaged bytes can produce count as corruption
+        (:data:`_CORRUPTION_ERRORS`).  Anything else — an
+        ``AttributeError`` because a result class was renamed, an
+        ``ImportError`` because its module moved — is a programming error
+        that every entry would trip over; misreporting it as corruption
+        would silently recompute the whole store while discarding it
+        entry by entry.  Those propagate so the bug (usually a missing
+        :data:`CODE_SALT` bump) gets fixed instead of papered over.
+        """
         try:
             envelope = pickle.loads(blob)
             magic, version, stored_fp, _meta, digest, payload_blob = envelope
@@ -296,7 +327,7 @@ class ResultStore:
             if hashlib.sha256(payload_blob).hexdigest() != digest:
                 raise ValueError("payload digest mismatch")
             return pickle.loads(payload_blob)
-        except Exception as exc:
+        except _CORRUPTION_ERRORS as exc:
             self._invalidate(path, exc)
             return None
 

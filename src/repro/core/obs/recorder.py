@@ -228,6 +228,22 @@ class Recorder:
                 span.end += shift
                 self._spans.append(span)
 
+    def merge_from(self, other: "Recorder") -> TelemetrySnapshot:
+        """Drain ``other`` and fold its telemetry into this recorder.
+
+        The cross-run counterpart of the worker-snapshot path: a sweep
+        instruments each study run with its own recorder, then merges
+        every run into one sweep-level recorder with this method.  The
+        drained snapshot is returned so callers can *also* export the
+        single run's metrics before it dissolves into the aggregate.
+        Merging is commutative (counters add, gauges take maxima,
+        histograms widen), so the aggregate is identical for any run
+        order.
+        """
+        snapshot = other.drain()
+        self.merge_snapshot(snapshot)
+        return snapshot
+
     # -- read access -------------------------------------------------------
 
     def counter_value(self, name: str) -> float:

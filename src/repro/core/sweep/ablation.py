@@ -1,0 +1,112 @@
+"""Analysis-side detector ablations over already-captured traffic.
+
+The sweep's ``detector`` axis must not re-run the dynamic pipeline: every
+:class:`~repro.core.dynamic.pipeline.DynamicAppResult` already carries the
+two raw captures and the exclusion set, so an ablated detector is a pure
+re-derivation of the verdict map — which is exactly what makes ablated
+sweep points free under a shared result store (they reuse every cached
+pipeline unit of their full-detector sibling and only re-detect).
+
+Scope: an ablation rewrites the *detection-derived* views of a study —
+per-destination verdicts, and with them prevalence, consistency and
+detector scoring.  Circumvention and PII comparisons were measured
+against the full detector's pinned sets during execution and are carried
+over unchanged; re-measuring them would require re-running pipelines,
+defeating the warm-start contract (DESIGN.md §13 records this scope).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core import obs
+from repro.core.analysis.study import StudyResults
+from repro.core.dynamic.detector import (
+    DestinationVerdict,
+    detect_pinned_destinations,
+    naive_detect_pinned_destinations,
+)
+from repro.core.dynamic.pipeline import DynamicAppResult
+from repro.core.sweep.spec import DETECTORS
+from repro.corpus.datasets import DatasetKey
+
+
+def _redetect(result: DynamicAppResult, detector: str) -> DynamicAppResult:
+    """One app's result under an ablated detector (captures unchanged)."""
+    if detector == "no-tls13":
+        verdicts = detect_pinned_destinations(
+            result.direct_capture,
+            result.mitm_capture,
+            result.excluded_destinations,
+            tls13_heuristics=False,
+        )
+    else:  # "naive"
+        flagged = naive_detect_pinned_destinations(
+            result.mitm_capture, result.excluded_destinations
+        )
+        # The naive detector returns a bare set; rebuild a verdict map
+        # over the same destination universe the differential detector
+        # reports so downstream not-pinned accounting stays comparable.
+        full = detect_pinned_destinations(
+            result.direct_capture,
+            result.mitm_capture,
+            result.excluded_destinations,
+        )
+        verdicts = {}
+        for destination, verdict in full.items():
+            verdicts[destination] = DestinationVerdict(
+                destination=destination,
+                used_direct=verdict.used_direct,
+                mitm_observed=verdict.mitm_observed,
+                mitm_all_failed=verdict.mitm_all_failed,
+                pinned=destination in flagged,
+                excluded=verdict.excluded,
+            )
+    return DynamicAppResult(
+        app_id=result.app_id,
+        platform=result.platform,
+        verdicts=verdicts,
+        direct_capture=result.direct_capture,
+        mitm_capture=result.mitm_capture,
+        excluded_destinations=result.excluded_destinations,
+        reran_with_wait=result.reran_with_wait,
+    )
+
+
+def apply_detector_ablation(
+    results: StudyResults, detector: str
+) -> StudyResults:
+    """Re-derive a study's detection-side views under an ablated detector.
+
+    ``"full"`` returns ``results`` unchanged.  Otherwise a **new**
+    :class:`StudyResults` is built — never a mutated copy, because the
+    original's memo cache indexes views computed from the original
+    verdicts and must stay valid for the caller.
+    """
+    if detector == "full":
+        return results
+    if detector not in DETECTORS:
+        raise ValueError(
+            f"unknown detector ablation {detector!r}; expected one of "
+            f"{DETECTORS}"
+        )
+    with obs.span("sweep.ablation", cat="sweep", detector=detector):
+        dynamic: Dict[DatasetKey, List[DynamicAppResult]] = {
+            key: [_redetect(result, detector) for result in dataset_results]
+            for key, dataset_results in results.dynamic_results.items()
+        }
+        obs.count(
+            "sweep.ablation.redetected",
+            sum(len(v) for v in dynamic.values()),
+        )
+    return StudyResults(
+        corpus=results.corpus,
+        static_reports=results.static_reports,
+        dynamic_results=dynamic,
+        circumvention=results.circumvention,
+        pii=results.pii,
+        failures=results.failures,
+        window_s=results.window_s,
+        telemetry=results.telemetry,
+        audit=results.audit,
+    )

@@ -1,0 +1,246 @@
+"""Sweep aggregation: cross-configuration comparison and stability.
+
+:class:`SweepResults` holds every executed point's headline findings and
+derives the comparison artifacts the sweep exists for:
+
+* the **grid table** — one row per point (configuration, failures,
+  store reuse, audit verdict);
+* the **stability tables** — per finding, per configuration group
+  (everything but the seed), the mean / min / max / spread across seeds
+  and a flag for findings whose *sign* flips between seeds, the
+  robustness failure a single-draw study cannot see;
+* a machine-readable JSON document
+  (``schemas/sweep_report.schema.json``) for CI and downstream tooling.
+
+"No data" discipline carries through from the study layer: a finding a
+configuration could not measure is ``None`` end to end, excluded from
+means and spreads, rendered as "—", and reported as ``n_defined <
+n_points`` — never collapsed into a fabricated zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import obs
+from repro.core.sweep.engine import SweepPointResult
+from repro.core.sweep.spec import SweepSpec
+from repro.reporting.tables import Table, ratio
+from repro.util.stats import mean_or_none
+
+#: Version tag stamped into the sweep-report JSON.
+SCHEMA_VERSION = "repro-sweep-v1"
+
+
+@dataclass
+class FindingStability:
+    """One finding's behaviour across the seeds of one configuration."""
+
+    finding: str
+    group: str
+    #: Per-seed values in expansion order; ``None`` where a seed's
+    #: configuration had no data for this finding.
+    values: List[Optional[float]] = field(default_factory=list)
+
+    @property
+    def defined(self) -> List[float]:
+        return [v for v in self.values if v is not None]
+
+    @property
+    def n_points(self) -> int:
+        return len(self.values)
+
+    @property
+    def n_defined(self) -> int:
+        return len(self.defined)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return mean_or_none(self.defined)
+
+    @property
+    def min(self) -> Optional[float]:
+        return min(self.defined) if self.defined else None
+
+    @property
+    def max(self) -> Optional[float]:
+        return max(self.defined) if self.defined else None
+
+    @property
+    def spread(self) -> Optional[float]:
+        """Max minus min — the blunt "how much did the draw matter"."""
+        if not self.defined:
+            return None
+        return max(self.defined) - min(self.defined)
+
+    @property
+    def sign_flip(self) -> bool:
+        """True when the finding is positive under one seed and negative
+        under another — its qualitative conclusion is seed-dependent."""
+        return bool(self.defined) and min(self.defined) < 0 < max(self.defined)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "finding": self.finding,
+            "config": self.group,
+            "n_points": self.n_points,
+            "n_defined": self.n_defined,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "spread": self.spread,
+            "sign_flip": self.sign_flip,
+        }
+
+
+@dataclass
+class SweepResults:
+    """Everything a sweep produced, plus the comparison layer."""
+
+    spec: SweepSpec
+    points: List[SweepPointResult]
+    #: The merged sweep-level recorder (every point's telemetry folded
+    #: in), or None for an uninstrumented construction (tests).
+    telemetry: Optional["obs.Recorder"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- aggregation -------------------------------------------------------
+
+    def stability(self) -> List[FindingStability]:
+        """Per-finding cross-seed stability, one entry per
+        (configuration group, finding); computed on demand."""
+        groups: Dict[str, List[SweepPointResult]] = {}
+        order: List[str] = []
+        for result in self.points:
+            key = result.point.group_label()
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(result)
+
+        out: List[FindingStability] = []
+        for group in order:
+            members = groups[group]
+            names: List[str] = []
+            seen = set()
+            for member in members:
+                for name in member.findings:
+                    if name not in seen:
+                        seen.add(name)
+                        names.append(name)
+            for name in sorted(names):
+                out.append(
+                    FindingStability(
+                        finding=name,
+                        group=group,
+                        values=[m.findings.get(name) for m in members],
+                    )
+                )
+        return out
+
+    def sign_flips(self) -> List[FindingStability]:
+        """The findings whose conclusions flipped across seeds."""
+        return [s for s in self.stability() if s.sign_flip]
+
+    # -- tables ------------------------------------------------------------
+
+    def grid_table(self) -> Table:
+        table = Table(
+            title="Sweep grid: executed configurations",
+            headers=[
+                "Point",
+                "Configuration",
+                "Failures",
+                "Store hit rate",
+                "Audit",
+                "Elapsed (s)",
+            ],
+        )
+        for index, result in enumerate(self.points):
+            if result.store_hits is None:
+                store = None  # ran store-less -> "—", not a fake 0 %
+            else:
+                store = (
+                    f"{result.store_hit_rate:.0%} "
+                    f"({result.store_hits}/"
+                    f"{result.store_hits + result.store_misses})"
+                    if result.store_hit_rate is not None
+                    else "0 lookups"
+                )
+            audit = (
+                None
+                if result.audit_passed is None
+                else ("PASS" if result.audit_passed else "FAIL")
+            )
+            table.add_row(
+                index,
+                result.point.label(),
+                result.failures,
+                store,
+                audit,
+                f"{result.elapsed_s:.1f}",
+            )
+        return table
+
+    def stability_table(self) -> Table:
+        """Per-finding stability across seeds, grouped by configuration.
+
+        ``Mean``/``Min``/``Max``/``Spread`` are over the seeds where the
+        finding was measured; a finding no seed could measure renders as
+        "—" across the board with ``N = 0/k``.
+        """
+        table = Table(
+            title="Cross-seed stability of headline findings",
+            headers=[
+                "Finding",
+                "Configuration",
+                "Mean",
+                "Min",
+                "Max",
+                "Spread",
+                "N",
+                "Sign flip",
+            ],
+        )
+        for entry in self.stability():
+            table.add_row(
+                entry.finding,
+                entry.group,
+                ratio(entry.mean, 4),
+                ratio(entry.min, 4),
+                ratio(entry.max, 4),
+                ratio(entry.spread, 4),
+                f"{entry.n_defined}/{entry.n_points}",
+                "FLIP" if entry.sign_flip else "",
+            )
+        return table
+
+    def telemetry_table(self) -> Optional[Table]:
+        if self.telemetry is None:
+            return None
+        return self.telemetry.summary_table()
+
+    # -- export ------------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "axes": self.spec.axes_dict(),
+            "points": [p.to_json_dict() for p in self.points],
+            "stability": [s.to_json_dict() for s in self.stability()],
+        }
+
+    def render(self) -> str:
+        parts = [self.grid_table().render(), self.stability_table().render()]
+        flips = self.sign_flips()
+        if flips:
+            lines = ["Sign flips (conclusion depends on the seed):"]
+            lines.extend(
+                f"  {s.finding} [{s.group}]: "
+                f"min={s.min:+.4f} max={s.max:+.4f}"
+                for s in flips
+            )
+            parts.append("\n".join(lines))
+        return "\n\n".join(parts)

@@ -71,6 +71,18 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
+def ratio(value: Optional[float], digits: int = 2) -> str:
+    """Render a plain ratio (Jaccard overlap, rate) as a fixed-point string.
+
+    Like :func:`percent`, ``None`` — the "no data" sentinel — renders as
+    :data:`NO_DATA` so an undefined ratio can never masquerade as a
+    measured ``0.00``.
+    """
+    if value is None:
+        return NO_DATA
+    return f"{value:.{digits}f}"
+
+
 def percent(value: Optional[float], digits: int = 2) -> str:
     """Render a ratio as a percentage string.
 

@@ -109,3 +109,53 @@ class TestSummaryAndFigures:
         android, ios = figure4_tables(named)
         assert len(android.rows) == 2
         assert len(ios.rows) == 1
+
+
+class TestNoDataFields:
+    """One-sided pairs carry ``None`` (no data), never a fabricated 0.0."""
+
+    def test_ios_only_pinner_has_no_android_side_numbers(self):
+        c = classify_pair(obs(ip={"x"}, au={"y"}))
+        assert c.jaccard is None
+        assert c.android_cross_unpinned is None
+        # iOS pinned something, so its direction IS measured (a real 0).
+        assert c.ios_cross_unpinned == 0.0
+
+    def test_android_only_pinner_has_no_ios_side_numbers(self):
+        c = classify_pair(obs(ap={"x"}, iu={"y"}))
+        assert c.jaccard is None
+        assert c.ios_cross_unpinned is None
+        assert c.android_cross_unpinned == 0.0
+
+    def test_no_pinning_pair_has_all_none(self):
+        c = classify_pair(obs(au={"a"}, iu={"a"}))
+        assert c.jaccard is None
+        assert c.android_cross_unpinned is None
+        assert c.ios_cross_unpinned is None
+
+    def test_undefined_cells_render_no_data_not_zero(self):
+        """A figure row over an undefined value prints "—", never "0.00"."""
+        from repro.core.analysis.consistency import ConsistencyClassification
+        from repro.reporting.tables import NO_DATA
+
+        c = ConsistencyClassification(
+            pins_android=True,
+            pins_ios=True,
+            verdict="inconsistent",
+            jaccard=None,
+            android_cross_unpinned=0.5,
+            ios_cross_unpinned=None,
+        )
+        rendered = figure3_table([("app", c)]).render()
+        assert NO_DATA in rendered
+        assert "0.00" not in rendered
+        assert "0%" not in rendered.replace("50%", "")
+
+    def test_figure4_renders_only_the_measured_direction(self):
+        """Exclusive pinners: the pinning side's percentage is real data;
+        the other side's fields are None and are simply never rendered."""
+        ios_only = classify_pair(obs(ip={"x"}, au={"y"}))
+        android, ios = figure4_tables([("app", ios_only)])
+        assert len(android.rows) == 0
+        assert len(ios.rows) == 1
+        assert "0%" in ios.render()  # measured zero, not fabricated

@@ -133,3 +133,26 @@ class TestTruncatedTail:
         assert reloaded.mid_file_corruption
         assert reloaded.lookup(_unit(0)) == ["result-0"]
         assert reloaded.lookup(_unit(1)) == ["result-1-redone"]
+
+
+class JournaledPayload:
+    """Picklable stand-in for a journaled result object."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class TestProgrammingErrorsPropagate:
+    """Only corruption-shaped errors are discarded as bit rot; a payload
+    referencing a renamed class is a code bug and must raise."""
+
+    def test_renamed_payload_class_raises_on_load(self, tmp_path, monkeypatch):
+        import sys
+
+        path = tmp_path / "journal.ckpt"
+        with StudyCheckpoint(path, seed=SEED, sleep_s=0.0) as checkpoint:
+            checkpoint.record(_unit(0), [JournaledPayload("x")])
+        module = sys.modules[JournaledPayload.__module__]
+        monkeypatch.delattr(module, "JournaledPayload")
+        with pytest.raises(AttributeError):
+            StudyCheckpoint(path, seed=SEED, sleep_s=0.0).open()

@@ -129,3 +129,53 @@ class TestNoDataRendering:
         # Measured zero among pinning apps stays a real 0.00%.
         assert "25.00%" in ios_row and "0.00%" in ios_row
         assert NO_DATA not in ios_row
+
+
+class TestLenientStatsGuard:
+    """No render-path module may use the lenient stats helpers.
+
+    ``stats.proportion`` / ``stats.mean`` collapse "no data" into 0.0;
+    fed into ``percent()`` or cell formatting they print a fabricated
+    measured zero.  Every table/figure call site must go through the
+    strict ``*_or_none`` variants, whose ``None`` renders as NO_DATA.
+    """
+
+    RENDER_PACKAGES = ("core/analysis", "reporting", "core/sweep")
+    LENIENT = {"proportion", "mean"}
+
+    def test_no_lenient_stats_in_render_paths(self):
+        import ast
+        from pathlib import Path
+
+        import repro
+
+        src_root = Path(repro.__file__).parent
+        offenders = []
+        for rel in self.RENDER_PACKAGES:
+            for path in sorted((src_root / rel).rglob("*.py")):
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+                for node in ast.walk(tree):
+                    if (
+                        isinstance(node, ast.ImportFrom)
+                        and node.module == "repro.util.stats"
+                    ):
+                        for alias in node.names:
+                            if alias.name in self.LENIENT:
+                                offenders.append(
+                                    f"{rel}/{path.name}:{node.lineno} "
+                                    f"imports lenient {alias.name}"
+                                )
+                    if (
+                        isinstance(node, ast.Attribute)
+                        and node.attr in self.LENIENT
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "stats"
+                    ):
+                        offenders.append(
+                            f"{rel}/{path.name}:{node.lineno} "
+                            f"uses stats.{node.attr}"
+                        )
+        assert not offenders, (
+            "lenient stats helpers reached a render path; use "
+            f"proportion_or_none/mean_or_none instead: {offenders}"
+        )

@@ -316,3 +316,28 @@ class TestTelemetry:
             assert recorder.counter_value("store.apps.miss") == 1
         finally:
             recorder.uninstall()
+
+
+class TestProgrammingErrorsPropagate:
+    """Only corruption-shaped errors invalidate an entry.  A payload that
+    unpickles into a renamed/moved class is a programming error (a missed
+    CODE_SALT bump) and must propagate, not warn-and-recompute."""
+
+    def test_renamed_result_class_raises_on_lookup(
+        self, corpus, tmp_path, monkeypatch
+    ):
+        import sys
+
+        store = ResultStore(tmp_path / "s", corpus)
+        app_id = corpus.dataset("ios", "common")[0].app.app_id
+        store.publish_app(
+            "static", "ios", "common", app_id, None, FakeResult(app_id)
+        )
+        fp = store.fingerprint_for("static", "ios", "common", app_id, None)
+        module = sys.modules[FakeResult.__module__]
+        monkeypatch.delattr(module, "FakeResult")
+        with pytest.raises(AttributeError):
+            store.lookup_app("static", "ios", "common", app_id, None)
+        # Not misfiled as corruption: nothing invalidated, entry intact.
+        assert store.stats.invalidated == 0
+        assert store.entry_path(fp).exists()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Validate a sweep-report JSON against its checked-in schema.
+
+Usage:
+    python tools/validate_sweep.py SCHEMA REPORT [REPORT ...]
+        [--min-points N] [--forbid-sign-flips]
+
+Exits 0 when every report conforms, 1 otherwise.
+
+Schema validation reuses the stdlib-only subset validator from
+``tools/validate_telemetry.py`` — one validator, three schemas, no
+third-party ``jsonschema`` dependency.  Beyond shape:
+
+* ``--min-points N`` fails a structurally valid report covering fewer
+  than N executed grid points — CI's guard that the smoke sweep really
+  swept (an empty ``points`` array is schema-valid).
+* ``--forbid-sign-flips`` fails when any finding's sign flipped across
+  seeds; useful for pinned-configuration regression sweeps where a flip
+  means the reproduction lost robustness, not that the paper did.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from validate_telemetry import validate_file  # noqa: E402
+
+
+def _flag(argv: List[str], name: str) -> bool:
+    if name in argv:
+        argv.remove(name)
+        return True
+    return False
+
+
+def _option(argv: List[str], name: str):
+    if name not in argv:
+        return None
+    index = argv.index(name)
+    if index + 1 >= len(argv):
+        raise SystemExit(f"{name} needs a value")
+    value = argv[index + 1]
+    del argv[index : index + 2]
+    return value
+
+
+def main(argv: List[str]) -> int:
+    argv = list(argv)
+    forbid_flips = _flag(argv, "--forbid-sign-flips")
+    min_points = _option(argv, "--min-points")
+    min_points = int(min_points) if min_points is not None else None
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    schema_path, reports = argv[0], argv[1:]
+    status = 0
+    for report_path in reports:
+        violations = validate_file(schema_path, report_path)
+        if violations:
+            status = 1
+            print(f"{report_path}: INVALID")
+            for violation in violations:
+                print(f"  {violation}")
+            continue
+        with open(report_path) as handle:
+            report = json.load(handle)
+        problems = []
+        points = report.get("points", [])
+        if min_points is not None and len(points) < min_points:
+            problems.append(
+                f"only {len(points)} point(s), expected >= {min_points}"
+            )
+        if forbid_flips:
+            flips = [
+                f"{entry['finding']} [{entry['config']}]"
+                for entry in report.get("stability", [])
+                if entry.get("sign_flip")
+            ]
+            if flips:
+                problems.append(f"sign flips: {flips}")
+        if problems:
+            status = 1
+            print(f"{report_path}: valid shape, but FAILED ({problems})")
+        else:
+            print(f"{report_path}: ok ({len(points)} point(s))")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
