@@ -14,6 +14,13 @@ Commands:
 * ``sweep``    — run a grid of study configurations (seeds × scales ×
   fault rates × detector ablations × worker counts) through a shared
   result store and print cross-configuration stability tables.
+* ``serve``    — run the long-lived study service: a daemon that keeps a
+  warm worker pool, a shared result store, and cached corpora resident
+  across submitted jobs (DESIGN.md §14).
+* ``submit``   — submit a study or sweep job to a running service and
+  print its output (byte-identical to the direct command).
+* ``jobs``     — inspect or control a running service (status / cancel /
+  stats / shutdown).
 """
 
 from __future__ import annotations
@@ -27,11 +34,16 @@ from repro.core import obs
 from repro.core.analysis import Study
 from repro.core.exec import ExecutionPlan, ResultStore, SeededFaults
 from repro.corpus import CorpusConfig, CorpusGenerator
+from repro.reporting.render import (
+    TABLE_CHOICES,
+    render_study_stdout,
+    render_sweep_stdout,
+)
 
-TABLE_CHOICES = [
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
-    "table8", "table9", "figure2", "figure3", "figure5",
-]
+#: Default service socket path (kept in sync with
+#: ``repro.service.protocol.DEFAULT_SOCKET`` without importing the
+#: service package for every CLI invocation).
+DEFAULT_SOCKET = "repro.sock"
 
 
 def _build_corpus(args):
@@ -166,16 +178,7 @@ def _cmd_study(args) -> int:
             print(f"# metrics written to {args.metrics_out}", file=sys.stderr)
         print(results.telemetry_table().render(), file=sys.stderr)
     _report_ledger(results)
-    for name in TABLE_CHOICES:
-        print(getattr(results, name)().render())
-        print()
-    figure4a, figure4b = results.figure4()
-    print(figure4a.render())
-    print()
-    print(figure4b.render())
-    print()
-    print(f"circumvention android: {results.circumvention_rate('android'):.2%}")
-    print(f"circumvention ios    : {results.circumvention_rate('ios'):.2%}")
+    sys.stdout.write(render_study_stdout(results))
     if results.audit is not None:
         # The audit is commentary about the run, not part of the study's
         # deterministic stdout contract — route it to stderr so output
@@ -293,7 +296,7 @@ def _cmd_sweep(args) -> int:
         f"{stopwatch.elapsed():.0f}s",
         file=sys.stderr,
     )
-    print(results.render())
+    sys.stdout.write(render_sweep_stdout(results))
     if results.telemetry is not None:
         # Commentary, like the study timing: the merged sweep telemetry
         # goes to stderr so stdout stays the comparison report.
@@ -305,6 +308,124 @@ def _cmd_sweep(args) -> int:
         print(f"# sweep report written to {args.report_out}", file=sys.stderr)
     if any(point.audit_passed is False for point in results.points):
         return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import StudyService
+
+    # "auto" resolves the same way an execution plan would size a pool.
+    workers = ExecutionPlan(workers=args.workers).worker_count
+    service = StudyService(
+        socket_path=args.socket,
+        store_dir=args.store,
+        workers=workers,
+        queue_size=args.queue_size,
+        max_concurrent=args.max_concurrent,
+        log=lambda line: print(f"# {line}", file=sys.stderr),
+    )
+    try:
+        code = service.serve_forever()
+    except RuntimeError as exc:  # e.g. socket already claimed
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.metrics_out:
+        service.recorder.write_metrics(args.metrics_out)
+        print(
+            f"# service metrics written to {args.metrics_out}", file=sys.stderr
+        )
+    return code
+
+
+def _submit_config(args) -> dict:
+    """The job config for ``repro submit``, from the session flags."""
+    if args.kind == "study":
+        return {
+            "seed": args.seed,
+            "scale": args.scale,
+            "workers": args.workers,
+            "chunk_size": args.chunk_size,
+            "max_retries": args.max_retries,
+            "fault_rate": args.fault_rate,
+            "fault_seed": args.fault_seed,
+        }
+    return {
+        "seeds": args.sweep_seeds or [args.seed],
+        "scales": args.sweep_scales or [args.scale],
+        "fault_rates": args.sweep_fault_rates or [args.fault_rate],
+        "detectors": args.sweep_detectors or ["full"],
+        "workers": args.sweep_workers or [args.workers],
+        "fault_seed": args.fault_seed,
+    }
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.socket)
+    # The daemon may run in another directory: artifact paths it writes
+    # on the client's behalf must be absolute.
+    metrics_out = os.path.abspath(args.metrics_out) if args.metrics_out else None
+    report_out = None
+    if args.kind == "sweep" and args.report_out:
+        report_out = os.path.abspath(args.report_out)
+    try:
+        job = client.submit(
+            args.kind,
+            _submit_config(args),
+            metrics_out=metrics_out,
+            report_out=report_out,
+        )
+        print(f"# submitted {job['id']} ({args.kind})", file=sys.stderr)
+        if args.no_wait:
+            print(job["id"])
+            return 0
+        job = client.result(job["id"], wait=True, timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if job["state"] != "completed":
+        print(f"# {job['id']} {job['state']}", file=sys.stderr)
+        if job.get("error"):
+            print(job["error"], file=sys.stderr)
+        return 1
+    print(
+        f"# {job['id']} completed "
+        f"(queue wait {job['queue_wait_s']:.2f}s, ran {job['elapsed_s']:.1f}s)",
+        file=sys.stderr,
+    )
+    if job.get("store_hits") is not None:
+        total = job["store_hits"] + job["store_misses"]
+        print(
+            f"# result store: {job['store_hits']}/{total} unit hits",
+            file=sys.stderr,
+        )
+    # The job's stdout, byte-identical to the direct command's.
+    sys.stdout.write(job["output"] or "")
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.socket)
+    try:
+        if args.action == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        elif args.action == "shutdown":
+            client.shutdown()
+            print("# shutdown requested; service is draining", file=sys.stderr)
+        else:  # status / cancel
+            if not args.id:
+                print(f"error: {args.action} requires a job id", file=sys.stderr)
+                return 2
+            job = getattr(client, args.action)(args.id)
+            print(json.dumps(job, indent=2, sort_keys=True))
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -328,6 +449,48 @@ def _cmd_verify(args) -> int:
         _write_audit_json(report, args.out)
         print(f"# audit report written to {args.out}", file=sys.stderr)
     return 0 if report.passed else 1
+
+
+def _add_sweep_axis_flags(parser) -> None:
+    """The sweep grid axes, shared by ``sweep`` and ``submit sweep``."""
+    parser.add_argument(
+        "--sweep-seeds",
+        metavar="LIST",
+        type=lambda v: _split_list(v, int),
+        default=None,
+        help="comma-separated corpus seeds (default: --seed)",
+    )
+    parser.add_argument(
+        "--sweep-scales",
+        metavar="LIST",
+        type=lambda v: _split_list(v, float),
+        default=None,
+        help="comma-separated corpus scales (default: --scale)",
+    )
+    parser.add_argument(
+        "--sweep-fault-rates",
+        metavar="LIST",
+        type=lambda v: _split_list(v, _rate),
+        default=None,
+        help="comma-separated fault-injection rates (default: "
+        "--fault-rate); faulted points run without the shared store",
+    )
+    parser.add_argument(
+        "--sweep-detectors",
+        metavar="LIST",
+        type=lambda v: _split_list(v, str),
+        default=None,
+        help="comma-separated detector ablations from "
+        "{full, no-tls13, naive} (default: full); ablated points "
+        "re-detect over cached captures and warm-start fully",
+    )
+    parser.add_argument(
+        "--sweep-workers",
+        metavar="LIST",
+        type=lambda v: _split_list(v, _workers_arg),
+        default=None,
+        help="comma-separated worker counts (default: --workers)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -450,44 +613,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "with keys seeds/scales/fault_rates/detectors/workers; exclusive "
         "with the --sweep-* axis flags",
     )
-    sweep.add_argument(
-        "--sweep-seeds",
-        metavar="LIST",
-        type=lambda v: _split_list(v, int),
-        default=None,
-        help="comma-separated corpus seeds (default: --seed)",
-    )
-    sweep.add_argument(
-        "--sweep-scales",
-        metavar="LIST",
-        type=lambda v: _split_list(v, float),
-        default=None,
-        help="comma-separated corpus scales (default: --scale)",
-    )
-    sweep.add_argument(
-        "--sweep-fault-rates",
-        metavar="LIST",
-        type=lambda v: _split_list(v, _rate),
-        default=None,
-        help="comma-separated fault-injection rates (default: "
-        "--fault-rate); faulted points run without the shared store",
-    )
-    sweep.add_argument(
-        "--sweep-detectors",
-        metavar="LIST",
-        type=lambda v: _split_list(v, str),
-        default=None,
-        help="comma-separated detector ablations from "
-        "{full, no-tls13, naive} (default: full); ablated points "
-        "re-detect over cached captures and warm-start fully",
-    )
-    sweep.add_argument(
-        "--sweep-workers",
-        metavar="LIST",
-        type=lambda v: _split_list(v, _workers_arg),
-        default=None,
-        help="comma-separated worker counts (default: --workers)",
-    )
+    _add_sweep_axis_flags(sweep)
     sweep.add_argument(
         "--store",
         metavar="DIR",
@@ -529,6 +655,93 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write per-point metrics JSON (point-<index>.json) here, "
         "before each point's telemetry merges into the sweep aggregate",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived study service: warm worker pool, shared "
+        "result store, cached corpora; jobs arrive over a unix socket "
+        "(pool size comes from the global --workers)",
+    )
+    serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=DEFAULT_SOCKET,
+        help="unix socket to listen on",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="shared content-addressed result store all non-faulted jobs "
+        "run against; overlapping submissions warm-start from it",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=_positive_int,
+        default=16,
+        help="bounded job-queue capacity; submits beyond it fail fast",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=_positive_int,
+        default=1,
+        help="jobs running simultaneously (1 = serialise jobs, which "
+        "keeps per-job telemetry attribution exact)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the merged service-level metrics JSON here on exit",
+    )
+    submit = sub.add_parser(
+        "submit",
+        help="submit a study or sweep job to a running service and print "
+        "its output (byte-identical to the direct command)",
+    )
+    submit.add_argument("kind", choices=["study", "sweep"])
+    submit.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=DEFAULT_SOCKET,
+        help="the service's unix socket",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="enqueue and print the job id instead of waiting for output",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up waiting for the result after this many seconds",
+    )
+    submit.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the job's own metrics JSON here (daemon-side write; "
+        "the path is made absolute before sending)",
+    )
+    submit.add_argument(
+        "--report-out",
+        metavar="PATH",
+        default=None,
+        help="sweep jobs: write the sweep report JSON here",
+    )
+    _add_sweep_axis_flags(submit)
+    jobs = sub.add_parser(
+        "jobs",
+        help="inspect or control a running service",
+    )
+    jobs.add_argument("action", choices=["status", "cancel", "stats", "shutdown"])
+    jobs.add_argument("id", nargs="?", default=None, help="job id")
+    jobs.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=DEFAULT_SOCKET,
+        help="the service's unix socket",
+    )
     table = sub.add_parser("table", help="print one table/figure")
     table.add_argument("name", choices=TABLE_CHOICES + ["figure4"])
     table.add_argument("--csv", action="store_true")
@@ -559,6 +772,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table": _cmd_table,
         "score": _cmd_score,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
         "verify": _cmd_verify,
     }
     return handlers[args.command](args)

@@ -408,6 +408,11 @@ class Study:
             when the pool cannot win.  Ignored when ``plan`` is given.
         fault_predicate: injectable per-app failure hook for
             fault-tolerance testing (see :mod:`repro.core.exec.faults`).
+        pool: optional shared :class:`~repro.core.exec.WarmPool` whose
+            lifetime the caller owns (the study service keeps one warm
+            across jobs).  Used when compatible with this study's
+            configuration, ignored otherwise; never shut down by this
+            study.  Results are identical with or without it.
     """
 
     def __init__(
@@ -417,6 +422,7 @@ class Study:
         plan: Optional[ExecutionPlan] = None,
         fault_predicate=None,
         workers: Optional[Union[int, str]] = None,
+        pool=None,
     ):
         self.corpus = corpus
         if plan is None and workers is not None:
@@ -442,6 +448,7 @@ class Study:
                 self.circumvention_pipeline,
             ),
             fault_predicate=fault_predicate,
+            pool=pool,
         )
 
     def _rerun_ids(

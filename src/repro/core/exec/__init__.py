@@ -25,13 +25,16 @@ from repro.core.exec.checkpoint import StudyCheckpoint
 from repro.core.exec.engine import (
     ExecutionEngine,
     ExecutionOutcome,
+    WarmPool,
     WorkerBootstrap,
 )
 from repro.core.exec.faults import (
+    NON_RETRYABLE_ERRORS,
     InjectedFault,
     SeededFaults,
     TransientFaults,
     UnitFailure,
+    is_retryable,
 )
 from repro.core.exec.plan import ExecutionPlan
 from repro.core.exec.resultstore import ResultStore, StoreStats
@@ -41,11 +44,14 @@ __all__ = [
     "ExecutionOutcome",
     "ExecutionPlan",
     "InjectedFault",
+    "NON_RETRYABLE_ERRORS",
     "ResultStore",
     "SeededFaults",
     "StoreStats",
     "StudyCheckpoint",
     "TransientFaults",
     "UnitFailure",
+    "WarmPool",
     "WorkerBootstrap",
+    "is_retryable",
 ]

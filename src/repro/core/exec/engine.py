@@ -52,6 +52,10 @@ bounded exponential backoff and an optional per-unit deadline), then
 budget, so one poisoned app cannot take a whole chunk's results down.
 Apps that still fail become :class:`~repro.core.exec.faults.UnitFailure`
 records in the returned :class:`ExecutionOutcome` instead of exceptions.
+The ladder is reserved for *retryable* faults: deterministic programming
+errors (:data:`~repro.core.exec.faults.NON_RETRYABLE_ERRORS`, e.g. an
+``AttributeError`` inside a detector) propagate immediately instead of
+being retried or quarantined into the ledger.
 Because unit purity makes retries and solo re-runs reproduce exactly what
 an untroubled run would have computed, the surviving results remain
 bit-for-bit identical to a fault-free run — the ledger is the only
@@ -85,7 +89,12 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 from repro.core import obs
 from repro.core.exec import costmodel
 from repro.core.exec.checkpoint import StudyCheckpoint, split_unit
-from repro.core.exec.faults import FaultPredicate, InjectedFault, UnitFailure
+from repro.core.exec.faults import (
+    FaultPredicate,
+    InjectedFault,
+    UnitFailure,
+    is_retryable,
+)
 from repro.core.exec.plan import ExecutionPlan
 from repro.core.exec.resultstore import ResultStore, corpus_fingerprint
 from repro.corpus.spec import CorpusSpec
@@ -332,6 +341,116 @@ def _run_unit_in_worker_telemetry(unit: WorkUnit) -> tuple:
     return _payload().encode_unit(unit[0], result), _WORKER_RECORDER.drain()
 
 
+class WarmPool:
+    """A worker pool whose lifetime outlives any single engine or run.
+
+    One-shot invocations pay the pool tax — process spawn, corpus
+    bootstrap, pipeline construction in every worker — once per run and
+    then throw the warm state away.  A :class:`WarmPool` inverts that
+    ownership: the pool (and the bootstrap it was initialized with) is
+    created once, handed to any number of consecutive
+    :class:`ExecutionEngine` instances via their ``pool=`` argument, and
+    shut down by whoever created it.  ``ExecutionEngine.close`` never
+    shuts a shared pool down.
+
+    Reuse is gated by :meth:`compatible_with`: worker state is baked in
+    at pool initialization (corpus, capture window, fault predicate,
+    telemetry mode), so an engine whose configuration differs gets its
+    own transient pool instead — correctness never depends on a
+    compatibility hit.  Because unit results are pure functions of
+    ``(corpus, sleep_s, unit)``, results computed on a reused pool are
+    bit-for-bit identical to a fresh pool's (the engine's determinism
+    contract; warm worker pipelines are the same reuse the engine
+    already performs *within* one run, stretched across runs).
+
+    Only fault-free configurations are shareable: a fault predicate is
+    baked into worker pipelines at init, so pools for fault-injected
+    runs stay private to their engine.
+    """
+
+    def __init__(
+        self,
+        corpus,
+        workers: int,
+        sleep_s: float = 30.0,
+        telemetry: bool = False,
+        bootstrap: str = "auto",
+    ):
+        global _PARENT_CORPUS
+        self.corpus = corpus
+        self.fingerprint = corpus_fingerprint(corpus)
+        self.workers = int(workers)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.sleep_s = float(sleep_s)
+        self.telemetry = bool(telemetry)
+        self.bootstrap = WorkerBootstrap.for_corpus(corpus, bootstrap)
+        # Publish for copy-on-write inheritance exactly like an
+        # engine-owned pool would; workers fork lazily on first submit.
+        # An engine-owned pool for a different corpus may republish this
+        # global later — workers forked after that fall back to the
+        # fingerprint-verified spec rebuild, so reuse degrades to a
+        # rebuild, never to wrong results.
+        _PARENT_CORPUS = corpus
+        self._executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(self.bootstrap, self.sleep_s, None, self.telemetry),
+        )
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            raise RuntimeError("warm pool has been shut down")
+        return self._executor
+
+    @property
+    def closed(self) -> bool:
+        return self._executor is None
+
+    def compatible_with(
+        self,
+        corpus,
+        sleep_s: float,
+        fault_predicate: Optional[FaultPredicate],
+        telemetry: bool,
+    ) -> bool:
+        """Whether an engine with this configuration may run on the pool.
+
+        Everything baked into worker state at init must match: the
+        corpus (by fingerprint — same fingerprint, same object graph),
+        the capture window, telemetry mode (it selects the worker entry
+        point and result envelope), and the absence of a fault
+        predicate.
+        """
+        if self._executor is None:
+            return False
+        return (
+            fault_predicate is None
+            and float(sleep_s) == self.sleep_s
+            and bool(telemetry) == self.telemetry
+            and (
+                corpus is self.corpus
+                or corpus_fingerprint(corpus) == self.fingerprint
+            )
+        )
+
+    def shutdown(self, cancel_futures: bool = False) -> None:
+        """Shut the pool down (idempotent); owner-only."""
+        global _PARENT_CORPUS
+        if self._executor is not None:
+            self._executor.shutdown(cancel_futures=cancel_futures)
+            self._executor = None
+        if _PARENT_CORPUS is self.corpus:
+            _PARENT_CORPUS = None
+
+    def __enter__(self) -> "WarmPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
 class ExecutionEngine:
     """Schedules study work units under an :class:`ExecutionPlan`.
 
@@ -364,6 +483,14 @@ class ExecutionEngine:
             each unit (a full per-app hit skips the unit entirely) and
             publishes completed units back.  Results are bit-for-bit
             identical with and without a store, warm or cold.
+        pool: optional externally owned :class:`WarmPool`.  When
+            compatible (same corpus fingerprint, capture window,
+            telemetry mode, no fault predicate) the engine runs its
+            units on it instead of spinning up its own pool, and
+            :meth:`close` leaves it running for the next consumer.  An
+            incompatible pool is simply ignored (counted as
+            ``exec.pool.incompatible``); results are identical either
+            way.
     """
 
     def __init__(
@@ -375,6 +502,7 @@ class ExecutionEngine:
         fault_predicate: Optional[FaultPredicate] = None,
         recorder: Optional[obs.Recorder] = None,
         store: Optional[ResultStore] = None,
+        pool: Optional[WarmPool] = None,
     ):
         self.corpus = corpus
         self.plan = plan or ExecutionPlan()
@@ -389,6 +517,8 @@ class ExecutionEngine:
             self._state["dynamic"] = dynamic
             self._state["circumvent"] = circumvent
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._shared_pool = pool
+        self._pool_is_shared = False
         self._rehydrator = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -400,22 +530,51 @@ class ExecutionEngine:
         self.close()
 
     def close(self, cancel_futures: bool = False) -> None:
-        """Shut down the worker pool (no-op for serial plans).
+        """Release the worker pool (no-op for serial plans).
 
-        ``cancel_futures`` drops queued-but-unpicked work instead of
-        draining it — the error-path contract: a failed strict run must
-        neither leak worker processes nor burn time finishing work whose
-        results will never be consumed.
+        An engine-owned pool is shut down; ``cancel_futures`` drops
+        queued-but-unpicked work instead of draining it — the error-path
+        contract: a failed strict run must neither leak worker processes
+        nor burn time finishing work whose results will never be
+        consumed.  A *shared* :class:`WarmPool` is merely detached: its
+        owner decides when the warm state dies.
         """
         global _PARENT_CORPUS
         if self._pool is not None:
-            self._pool.shutdown(cancel_futures=cancel_futures)
+            if not self._pool_is_shared:
+                self._pool.shutdown(cancel_futures=cancel_futures)
             self._pool = None
-        if _PARENT_CORPUS is self.corpus:
+            self._pool_is_shared = False
+        # Keep the corpus published while a live shared pool still wants
+        # it: its not-yet-forked workers inherit through this global.
+        keep_published = (
+            self._shared_pool is not None
+            and not self._shared_pool.closed
+            and self._shared_pool.corpus is self.corpus
+        )
+        if not keep_published and _PARENT_CORPUS is self.corpus:
             _PARENT_CORPUS = None
+
+    def _shared_pool_usable(self) -> bool:
+        """Whether the attached shared pool can serve this engine."""
+        return self._shared_pool is not None and (
+            self._shared_pool.compatible_with(
+                self.corpus,
+                self.sleep_s,
+                self.fault_predicate,
+                self.recorder is not None,
+            )
+        )
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            if self._shared_pool_usable():
+                self._pool = self._shared_pool.executor
+                self._pool_is_shared = True
+                self._count("exec.pool.reused")
+                return self._pool
+            if self._shared_pool is not None:
+                self._count("exec.pool.incompatible")
             global _PARENT_CORPUS
             bootstrap = WorkerBootstrap.for_corpus(
                 self.corpus, self.plan.bootstrap
@@ -440,6 +599,7 @@ class ExecutionEngine:
                     self.recorder is not None,
                 ),
             )
+            self._pool_is_shared = False
         return self._pool
 
     # -- telemetry plumbing ------------------------------------------------
@@ -527,7 +687,7 @@ class ExecutionEngine:
         if costmodel.should_parallelize(
             units,
             self.plan.worker_count,
-            pool_started=self._pool is not None,
+            pool_started=self._pool is not None or self._shared_pool_usable(),
         ):
             self._count("exec.sched.parallel_batches")
             return True
@@ -553,20 +713,29 @@ class ExecutionEngine:
         outstanding: dict = {}
         queue = iter(pending)
         exhausted = False
-        while True:
-            while not exhausted and len(outstanding) < window:
-                try:
-                    position, unit = next(queue)
-                except StopIteration:
-                    exhausted = True
+        try:
+            while True:
+                while not exhausted and len(outstanding) < window:
+                    try:
+                        position, unit = next(queue)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    outstanding[self._submit(pool, unit)] = (position, unit)
+                if not outstanding:
                     break
-                outstanding[self._submit(pool, unit)] = (position, unit)
-            if not outstanding:
-                break
-            done, _ = wait(outstanding, return_when=FIRST_COMPLETED)
-            for future in done:
-                position, unit = outstanding.pop(future)
-                collect(position, unit, future)
+                done, _ = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    position, unit = outstanding.pop(future)
+                    collect(position, unit, future)
+        except BaseException:
+            # Cancel what has not been picked up yet.  Matters most on a
+            # shared pool, which the error path must not shut down: the
+            # queued remainder would otherwise burn warm workers on
+            # results nobody will consume.
+            for future in outstanding:
+                future.cancel()
+            raise
 
     # -- sharding ----------------------------------------------------------
 
@@ -658,9 +827,12 @@ class ExecutionEngine:
         With a result store attached, units whose every app is already
         stored are composed from the store instead of dispatched, and
         completed units are published back for later runs.  Never raises
-        for per-unit failures — they land in the outcome's ledger.
-        Unexpected scheduler-level errors (and interrupts) still
-        propagate, after the pool is shut down.
+        for *retryable* per-unit failures — they land in the outcome's
+        ledger.  Non-retryable failures
+        (:data:`~repro.core.exec.faults.NON_RETRYABLE_ERRORS` —
+        programming errors a retry cannot cure) propagate immediately,
+        as do unexpected scheduler-level errors and interrupts, after
+        the pool is released.
         """
         units = list(units)
         unit_results: List[Optional[list]] = [None] * len(units)
@@ -701,6 +873,13 @@ class ExecutionEngine:
                     try:
                         result = self._collect(future)
                     except Exception as exc:
+                        if not is_retryable(exc):
+                            # A programming error is deterministic: the
+                            # recovery ladder would replay it per retry
+                            # and per quarantined app, then launder it
+                            # into the ledger.  Fail the run instead.
+                            self._count("exec.faults.nonretryable")
+                            raise
                         unit_results[position] = self._run_with_recovery(
                             unit,
                             failures,
@@ -779,6 +958,11 @@ class ExecutionEngine:
             try:
                 return self._attempt(unit, use_pool), attempts, None
             except Exception as exc:
+                if not is_retryable(exc):
+                    # A retry "cured" by nondeterminism upstream of a
+                    # programming error would mask the bug; propagate.
+                    self._count("exec.faults.nonretryable")
+                    raise
                 error = exc
                 self._count_error(exc)
         return None, attempts, error
@@ -799,18 +983,26 @@ class ExecutionEngine:
         in_quarantine: bool = False,
         use_pool: bool = False,
     ) -> list:
-        """Run one unit to a result or a ledger entry, never an exception.
+        """Run one unit to a result or a ledger entry.
 
         The escalation ladder: attempt, retry up to ``plan.max_retries``
         times, then (for multi-app units) quarantine — re-run each app as
         its own solo unit through this same ladder, so only the genuinely
         bad apps are lost.  Survivors are journaled; casualties become
-        :class:`UnitFailure` records.
+        :class:`UnitFailure` records.  Only *retryable* errors ride the
+        ladder: a non-retryable (programming) error raises out of here
+        immediately.
         """
         if first_error is None:
             try:
                 result = self._attempt(unit, use_pool)
             except Exception as exc:
+                if not is_retryable(exc):
+                    # Never enters the retry/quarantine ladder: a
+                    # detector's AttributeError is a failed run (under
+                    # the service, a failed job), not app flakiness.
+                    self._count("exec.faults.nonretryable")
+                    raise
                 first_error = exc
                 self._count_error(exc)
             else:

@@ -31,6 +31,36 @@ PHASES: Tuple[str, ...] = ("static", "dynamic", "circumvent")
 #: ``(phase, app_id) -> should this app's unit of work fail?``
 FaultPredicate = Callable[[str, str], bool]
 
+#: Exception types a retry can never cure.  These are programming errors
+#: — a detector dereferencing an attribute that does not exist, a moved
+#: module, a broken assertion — and they are deterministic: every
+#: attempt, every quarantined solo re-run, would fail the same way.
+#: Retrying them wastes the retry budget; quarantining them disguises a
+#: code bug as per-app flakiness and buries it in the error ledger.  The
+#: engine therefore propagates them immediately, so the run (or, under
+#: the service, the job) fails loudly instead.  Deliberately narrow:
+#: ``ValueError`` / ``KeyError`` / ``OSError`` can be data- or
+#: environment-dependent and stay retryable.
+NON_RETRYABLE_ERRORS = (
+    AttributeError,
+    TypeError,
+    NameError,
+    AssertionError,
+    ImportError,
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether the engine may retry/quarantine a unit that raised ``exc``.
+
+    The narrowing policy (DESIGN.md §13, extended to the execution
+    engine): transient faults — injected faults, timeouts, crashes the
+    environment can produce — earn the retry/quarantine ladder;
+    programming errors (:data:`NON_RETRYABLE_ERRORS`) propagate so they
+    surface as a failed run instead of being masked as per-app losses.
+    """
+    return not isinstance(exc, NON_RETRYABLE_ERRORS)
+
 
 class InjectedFault(RuntimeError):
     """Raised by a pipeline when its fault predicate fires for an app."""

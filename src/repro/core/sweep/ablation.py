@@ -73,9 +73,7 @@ def _redetect(result: DynamicAppResult, detector: str) -> DynamicAppResult:
     )
 
 
-def apply_detector_ablation(
-    results: StudyResults, detector: str
-) -> StudyResults:
+def apply_detector_ablation(results: StudyResults, detector: str) -> StudyResults:
     """Re-derive a study's detection-side views under an ablated detector.
 
     ``"full"`` returns ``results`` unchanged.  Otherwise a **new**

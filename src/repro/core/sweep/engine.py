@@ -97,6 +97,14 @@ class SweepEngine:
             (``point-<index>.json``), written before the point's
             telemetry is merged into the sweep aggregate.
         progress: optional callable for per-point progress lines.
+        pool: optional shared :class:`~repro.core.exec.WarmPool` owned
+            by the caller (the study service).  Points whose
+            configuration is compatible run on it; others fall back to
+            their own pools.  Never shut down by the sweep.
+        corpora: optional externally owned ``(seed, scale) -> corpus``
+            cache to share corpus construction with the caller (the
+            service keeps one across jobs); the engine reads and
+            populates it in place.
     """
 
     def __init__(
@@ -109,6 +117,8 @@ class SweepEngine:
         fault_seed: int = 0,
         metrics_dir: Optional[str] = None,
         progress: Optional[Callable[[str], None]] = None,
+        pool=None,
+        corpora: Optional[Dict[Tuple[int, float], object]] = None,
     ):
         self.spec = spec
         self.sleep_s = sleep_s
@@ -118,7 +128,8 @@ class SweepEngine:
         self.fault_seed = fault_seed
         self.metrics_dir = metrics_dir
         self.progress = progress or (lambda line: None)
-        self._corpora: Dict[Tuple[int, float], object] = {}
+        self.pool = pool
+        self._corpora: Dict[Tuple[int, float], object] = corpora if corpora is not None else {}
 
     def _corpus(self, seed: int, scale: float):
         key = (seed, scale)
@@ -144,9 +155,7 @@ class SweepEngine:
         )
         store = None
         if self.store_dir is not None and faults is None:
-            store = ResultStore(
-                self.store_dir, corpus, sleep_s=self.sleep_s
-            )
+            store = ResultStore(self.store_dir, corpus, sleep_s=self.sleep_s)
         resume = None
         if self.resume_dir is not None:
             os.makedirs(self.resume_dir, exist_ok=True)
@@ -157,11 +166,10 @@ class SweepEngine:
             sleep_s=self.sleep_s,
             plan=ExecutionPlan(workers=point.workers),
             fault_predicate=faults,
+            pool=self.pool,
         )
         stopwatch = obs.Stopwatch()
-        results = study.run(
-            resume=resume, recorder=recorder, store=store, audit=self.audit
-        )
+        results = study.run(resume=resume, recorder=recorder, store=store, audit=self.audit)
         # Study.run uninstalled the recorder; re-install it so the
         # analysis-side ablation and finding extraction are observed too.
         recorder.install()
@@ -175,9 +183,7 @@ class SweepEngine:
 
         if self.metrics_dir is not None:
             os.makedirs(self.metrics_dir, exist_ok=True)
-            recorder.write_metrics(
-                os.path.join(self.metrics_dir, f"point-{index:02d}.json")
-            )
+            recorder.write_metrics(os.path.join(self.metrics_dir, f"point-{index:02d}.json"))
         # The point's recorder dissolves into the sweep aggregate so
         # cross-configuration totals come from one merged document.
         sweep_recorder.merge_from(recorder)
@@ -204,9 +210,7 @@ class SweepEngine:
         telemetry = obs.Recorder()
         results: List[SweepPointResult] = []
         for index, point in enumerate(points):
-            self.progress(
-                f"[{index + 1}/{len(points)}] {point.label()}"
-            )
+            self.progress(f"[{index + 1}/{len(points)}] {point.label()}")
             result = self._run_point(index, point, telemetry)
             results.append(result)
             detail = f"{result.elapsed_s:.1f}s, {result.failures} failure(s)"

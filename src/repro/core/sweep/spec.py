@@ -146,9 +146,7 @@ class SweepSpec:
         group the ``full`` detector (when listed) runs before its
         ablated siblings, so the siblings find the store populated.
         """
-        detectors = sorted(
-            self.detectors, key=lambda d: (d != "full", DETECTORS.index(d))
-        )
+        detectors = sorted(self.detectors, key=lambda d: (d != "full", DETECTORS.index(d)))
         return [
             SweepPoint(
                 seed=seed,

@@ -1,0 +1,57 @@
+"""Canonical stdout rendering for study and sweep runs.
+
+The byte layout of ``repro study`` / ``repro sweep`` stdout is a
+contract: the CI parallel-parity check diffs it across execution plans,
+and the service smoke job diffs a daemon-executed job against its
+direct-CLI twin.  Both the CLI and the service therefore render through
+these two functions — the *only* place the layout is defined — so
+"byte-identical output" is true by construction, not by parallel
+maintenance of two format strings.
+
+Everything here is deterministic given the results object.  Volatile
+commentary (timings, store statistics, telemetry tables, audit reports)
+goes to stderr in the CLI and never enters these strings.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Every table/figure ``repro study`` prints, in print order.  Also the
+#: ``repro table <name>`` choice list (plus ``figure4``, which renders
+#: as a pair).
+TABLE_CHOICES: List[str] = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "table8", "table9", "figure2", "figure3", "figure5",
+]
+
+
+def render_study_stdout(results) -> str:
+    """The full ``repro study`` stdout for a `StudyResults`, byte-exact."""
+    parts: List[str] = []
+    for name in TABLE_CHOICES:
+        parts.append(getattr(results, name)().render())
+        parts.append("\n\n")
+    figure4a, figure4b = results.figure4()
+    parts.append(figure4a.render())
+    parts.append("\n\n")
+    parts.append(figure4b.render())
+    parts.append("\n\n")
+    parts.append(
+        f"circumvention android: {results.circumvention_rate('android'):.2%}\n"
+    )
+    parts.append(
+        f"circumvention ios    : {results.circumvention_rate('ios'):.2%}\n"
+    )
+    return "".join(parts)
+
+
+def render_sweep_stdout(results) -> str:
+    """The full ``repro sweep`` stdout for a `SweepResults`.
+
+    Unlike the study rendering this is *not* byte-reproducible across
+    runs: the grid table embeds per-point elapsed seconds and store hit
+    rates.  Cross-run comparisons use the JSON report with those fields
+    masked (``tools/diff_sweep_reports.py``), not this string.
+    """
+    return results.render() + "\n"

@@ -1,0 +1,131 @@
+""":class:`ServiceClient` — the thin client behind ``repro submit``.
+
+One connection per request (the protocol is stateless), so a client
+survives daemon restarts between calls and never holds the daemon's
+accept loop hostage.  The only long-lived connection is a waiting
+``result`` request, which blocks server-side until the job finishes.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from repro.service import protocol
+
+#: Sentinel distinguishing "use the client default" from "no timeout".
+_DEFAULT = object()
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error (or not at all)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.daemon.StudyService`.
+
+    Args:
+        socket_path: the daemon's unix socket.
+        timeout: per-request socket timeout for non-waiting requests.
+    """
+
+    def __init__(
+        self,
+        socket_path: str = protocol.DEFAULT_SOCKET,
+        timeout: float = 10.0,
+    ):
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    def _request(self, message: Dict[str, Any], timeout: Any = _DEFAULT) -> Dict[str, Any]:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(self.timeout if timeout is _DEFAULT else timeout)
+            sock.connect(self.socket_path)
+            stream = sock.makefile("rwb")
+            protocol.write_message(stream, message)
+            response = protocol.read_message(stream)
+        except OSError as exc:
+            raise ServiceError(
+                "connect", f"cannot reach service at {self.socket_path}: {exc}"
+            ) from exc
+        finally:
+            sock.close()
+        if response is None:
+            raise ServiceError("closed", "service closed the connection")
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "unknown"),
+                response.get("message", "unspecified error"),
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Operations
+
+    def ping(self) -> Dict[str, Any]:
+        return self._request({"op": "ping"})
+
+    def submit(
+        self,
+        kind: str,
+        config: Dict[str, Any],
+        metrics_out: Optional[str] = None,
+        report_out: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit a job; returns its wire description (``id``, ``state``)."""
+        return self._request(
+            {
+                "op": "submit",
+                "kind": kind,
+                "config": config,
+                "metrics_out": metrics_out,
+                "report_out": report_out,
+            }
+        )["job"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request({"op": "status", "id": job_id})["job"]
+
+    def result(
+        self,
+        job_id: str,
+        wait: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """The job's terminal record, including output.
+
+        With ``wait`` (the default) this blocks — without any socket
+        timeout unless ``timeout`` is given — until the job finishes.
+        """
+        return self._request(
+            {"op": "result", "id": job_id, "wait": wait, "timeout": timeout},
+            timeout=timeout,
+        )["job"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request({"op": "cancel", "id": job_id})["job"]
+
+    def stats(self) -> Dict[str, Any]:
+        response = self._request({"op": "stats"})
+        return {key: value for key, value in response.items() if key != "ok"}
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and exit."""
+        return self._request({"op": "shutdown"})
+
+    def submit_and_wait(
+        self,
+        kind: str,
+        config: Dict[str, Any],
+        metrics_out: Optional[str] = None,
+        report_out: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit a job and block until it reaches a terminal state."""
+        job = self.submit(kind, config, metrics_out=metrics_out, report_out=report_out)
+        return self.result(job["id"], wait=True, timeout=timeout)

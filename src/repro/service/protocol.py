@@ -1,0 +1,67 @@
+"""Wire protocol: newline-delimited JSON over a unix domain socket.
+
+Deliberately minimal.  Each connection carries a sequence of requests;
+every request is one JSON object on one line, every response likewise.
+A request names an ``op`` (``submit`` / ``status`` / ``result`` /
+``cancel`` / ``stats`` / ``ping`` / ``shutdown``); a response always
+carries ``ok`` — ``True`` with op-specific fields, or ``False`` with
+``error`` (a stable machine-readable code) and ``message``.
+
+Framing is a plain ``\\n`` because every payload is
+``json.dumps``-encoded (newlines inside strings are escaped), so a line
+is always exactly one document.  Study stdout rides inside a JSON string
+field for the same reason.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Default socket path, relative to the daemon's working directory.
+DEFAULT_SOCKET = "repro.sock"
+
+#: Hard cap on one message's size.  A full-scale study's stdout is a few
+#: hundred KB; this bounds a malformed peer, not legitimate traffic.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A peer sent something that is not a one-line JSON object."""
+
+
+def write_message(stream, message: Dict[str, Any]) -> None:
+    """Write one message as a single JSON line and flush it."""
+    line = json.dumps(message, sort_keys=True, separators=(",", ":"))
+    stream.write(line.encode("utf-8") + b"\n")
+    stream.flush()
+
+
+def read_message(stream) -> Optional[Dict[str, Any]]:
+    """Read one message; ``None`` on a clean EOF.
+
+    Raises :class:`ProtocolError` for oversized lines, invalid JSON, or
+    a JSON value that is not an object.
+    """
+    line = stream.readline(MAX_MESSAGE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_MESSAGE_BYTES} bytes")
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON message: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def ok_response(**fields: Any) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(code: str, message: str) -> Dict[str, Any]:
+    return {"ok": False, "error": code, "message": message}

@@ -340,3 +340,96 @@ class TestStudyDegradation:
         assert [f.app_id for f in results.failures] == [bad]
         assert bad not in results.dynamic_by_app("android")
         assert all(c.app_id != bad for c in results.circumvention["android"])
+
+
+@dataclass(frozen=True)
+class BuggyPredicate:
+    """Picklable stand-in for a programming error inside per-app work:
+    consulting it for a target app raises ``AttributeError``, the way a
+    detector dereferencing a missing attribute would."""
+
+    app_ids: Tuple[str, ...]
+    phases: Tuple[str, ...] = ("static",)
+
+    def __call__(self, phase: str, app_id: str) -> bool:
+        if phase in self.phases and app_id in self.app_ids:
+            raise AttributeError("simulated detector bug: no attribute 'verdict'")
+        return False
+
+
+class CountingBuggyPredicate:
+    """Serial-only variant counting how often the bug site is reached."""
+
+    def __init__(self, app_id: str):
+        self.app_id = app_id
+        self.calls = 0
+
+    def __call__(self, phase: str, app_id: str) -> bool:
+        if phase == "static" and app_id == self.app_id:
+            self.calls += 1
+            raise AttributeError("simulated detector bug")
+        return False
+
+
+class TestNonRetryableErrors:
+    """Programming errors must surface as a failed run, not be retried
+    or quarantined into the error ledger as fake per-app flakiness."""
+
+    def test_classification_policy(self):
+        from repro.core.exec import NON_RETRYABLE_ERRORS, is_retryable
+
+        for exc_type in NON_RETRYABLE_ERRORS:
+            assert not is_retryable(exc_type("boom"))
+        # Transient/data-dependent errors keep the retry ladder.
+        assert is_retryable(InjectedFault("static", "app-1"))
+        assert is_retryable(ValueError("boom"))
+        assert is_retryable(KeyError("boom"))
+        assert is_retryable(OSError("boom"))
+
+    def test_programming_error_propagates_without_retry(self, tiny_corpus):
+        from repro.core import obs
+
+        ids = _app_ids(tiny_corpus, KEY)
+        predicate = CountingBuggyPredicate(ids[1])
+        recorder = obs.Recorder()
+        engine = ExecutionEngine(
+            tiny_corpus,
+            ExecutionPlan(max_retries=3, chunk_size=len(ids)),
+            fault_predicate=predicate,
+            recorder=recorder,
+        )
+        units = engine.units_for("static", KEY, range(len(ids)))
+        with pytest.raises(AttributeError):
+            engine.execute_resilient(units)
+        # One consultation: the retry/quarantine ladder never engaged.
+        assert predicate.calls == 1
+        assert recorder.counter_value("exec.faults.nonretryable") == 1
+
+    def test_programming_error_propagates_from_pool(self, tiny_corpus):
+        ids = _app_ids(tiny_corpus, KEY)
+        engine = ExecutionEngine(
+            tiny_corpus,
+            ExecutionPlan(workers=2, max_retries=2, chunk_size=2),
+            fault_predicate=BuggyPredicate((ids[1],)),
+        )
+        try:
+            with pytest.raises(AttributeError):
+                engine.execute_resilient(
+                    engine.units_for("static", KEY, range(len(ids)))
+                )
+        finally:
+            engine.close()
+
+    def test_injected_fault_still_earns_the_ladder(self, tiny_corpus):
+        # The narrowing must not over-reach: an InjectedFault on the same
+        # app still degrades into the ledger instead of raising.
+        ids = _app_ids(tiny_corpus, KEY)
+        engine = ExecutionEngine(
+            tiny_corpus,
+            ExecutionPlan(max_retries=1, chunk_size=len(ids)),
+            fault_predicate=FailApps((ids[1],), phases=("static",)),
+        )
+        outcome = engine.execute_resilient(
+            engine.units_for("static", KEY, range(len(ids)))
+        )
+        assert [f.app_id for f in outcome.failures] == [ids[1]]

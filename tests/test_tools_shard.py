@@ -1,0 +1,87 @@
+"""Tests for the deterministic CI test sharder (tools/shard_tests.py).
+
+The CI matrix relies on three properties: every shard run twice yields
+the same files (determinism), the shards partition the suite exactly
+(no file lost, none duplicated), and a file's shard assignment depends
+only on its own name (suite growth never reshuffles siblings).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parents[1] / "tools"
+TESTS = Path(__file__).resolve().parent
+
+
+def load_tool(name):
+    spec = importlib.util.spec_from_file_location(name, TOOLS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+shard_tests = load_tool("shard_tests")
+
+
+class TestSharding:
+    def test_shards_partition_the_suite_exactly(self):
+        everything = set(TESTS.glob("test_*.py"))
+        seen = set()
+        for index in range(3):
+            shard = set(shard_tests.shard_files(TESTS, 3, index))
+            assert not (shard & seen), "shards overlap"
+            seen |= shard
+        assert seen == everything
+
+    def test_assignment_is_deterministic(self):
+        first = shard_tests.shard_files(TESTS, 3, 1)
+        second = shard_tests.shard_files(TESTS, 3, 1)
+        assert first == second
+
+    def test_assignment_depends_only_on_the_file_name(self, tmp_path):
+        # The same names shard identically from any directory: bucketing
+        # hashes the name, not the path or the directory listing.
+        for name in ("test_alpha.py", "test_beta.py", "test_gamma.py"):
+            (tmp_path / name).write_text("")
+        by_name = {
+            path.name: shard_tests.shard_of(path.name, 5)
+            for path in tmp_path.glob("test_*.py")
+        }
+        for path in TESTS.glob("test_*.py"):
+            if path.name in by_name:
+                assert shard_tests.shard_of(path.name, 5) == by_name[path.name]
+        # Adding a file never moves an existing one.
+        before = {n: shard_tests.shard_of(n, 3) for n in by_name}
+        (tmp_path / "test_delta.py").write_text("")
+        after = {
+            path.name: shard_tests.shard_of(path.name, 3)
+            for path in tmp_path.glob("test_*.py")
+            if path.name in before
+        }
+        assert before == after
+
+    def test_single_shard_is_everything(self):
+        assert set(shard_tests.shard_files(TESTS, 1, 0)) == set(
+            TESTS.glob("test_*.py")
+        )
+
+    @pytest.mark.parametrize(
+        "argv, code",
+        [
+            (["--shards", "0", "--index", "0"], 2),
+            (["--shards", "3", "--index", "3"], 2),
+            (["--shards", "3", "--index", "-1"], 2),
+            (["--shards", "3", "--index", "0", "--test-dir", "no/such/dir"], 2),
+        ],
+    )
+    def test_bad_arguments_exit_2(self, argv, code, capsys):
+        assert shard_tests.main(argv) == code
+
+    def test_cli_prints_one_file_per_line(self, capsys):
+        assert shard_tests.main(["--shards", "3", "--index", "0"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == [p.as_posix() for p in shard_tests.shard_files(Path("tests"), 3, 0)]

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Compare two sweep report JSONs, ignoring run-volatile fields.
+
+Usage::
+
+    python tools/diff_sweep_reports.py baseline.json candidate.json
+
+A sweep's *findings* are deterministic — same spec, same corpus, same
+numbers — but its report also records how the run went: per-point
+``elapsed_s`` (wall clock) and ``store`` statistics (hit/miss tallies
+depend on what happened to be cached).  Those differ between a cold CLI
+run and a warm service run executing the identical spec, which is
+exactly the comparison the CI service smoke job makes.  This tool masks
+the volatile fields and deep-compares everything else, so "the service
+computed the same sweep" is checkable without demanding byte equality
+of the full report.
+
+Stdlib-only.  Exit status: 0 when the reports agree, 1 with a readable
+path-by-path diff when they do not, 2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Keys whose values legitimately differ between identical runs.
+VOLATILE_KEYS = ("elapsed_s", "store")
+
+
+def mask(value):
+    """Recursively replace volatile fields with a fixed placeholder."""
+    if isinstance(value, dict):
+        return {
+            key: "<masked>" if key in VOLATILE_KEYS else mask(child)
+            for key, child in value.items()
+        }
+    if isinstance(value, list):
+        return [mask(child) for child in value]
+    return value
+
+
+def diff(baseline, candidate, path="$"):
+    """Yield human-readable difference lines between two masked trees."""
+    if type(baseline) is not type(candidate):
+        yield (
+            f"{path}: type {type(baseline).__name__} != "
+            f"{type(candidate).__name__}"
+        )
+        return
+    if isinstance(baseline, dict):
+        for key in sorted(set(baseline) | set(candidate)):
+            if key not in baseline:
+                yield f"{path}.{key}: only in candidate"
+            elif key not in candidate:
+                yield f"{path}.{key}: only in baseline"
+            else:
+                yield from diff(baseline[key], candidate[key], f"{path}.{key}")
+    elif isinstance(baseline, list):
+        if len(baseline) != len(candidate):
+            yield f"{path}: length {len(baseline)} != {len(candidate)}"
+            return
+        for index, (left, right) in enumerate(zip(baseline, candidate)):
+            yield from diff(left, right, f"{path}[{index}]")
+    elif baseline != candidate:
+        yield f"{path}: {baseline!r} != {candidate!r}"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="sweep report JSON")
+    parser.add_argument("candidate", help="sweep report JSON to compare")
+    args = parser.parse_args(argv)
+
+    trees = []
+    for path in (args.baseline, args.candidate):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                trees.append(mask(json.load(handle)))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+
+    lines = list(diff(trees[0], trees[1]))
+    if lines:
+        print(f"sweep reports differ ({len(lines)} difference(s)):")
+        for line in lines:
+            print(f"  {line}")
+        return 1
+    print("sweep reports agree (volatile fields masked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
