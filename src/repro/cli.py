@@ -149,7 +149,12 @@ def _cmd_study(args) -> int:
     # already use the monotonic clock, so the headline number must agree
     # with the trace.
     stopwatch = obs.Stopwatch()
-    study = Study(corpus, plan=_plan(args), fault_predicate=_faults(args))
+    study = Study(
+        corpus,
+        plan=_plan(args),
+        fault_predicate=_faults(args),
+        detector=args.detector,
+    )
     store = None
     if args.store:
         store = ResultStore(
@@ -564,6 +569,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-store-write",
         action="store_true",
         help="do not publish results to --store (read-only consumer)",
+    )
+    study.add_argument(
+        "--detector",
+        choices=["full", "no-tls13", "naive"],
+        default="full",
+        help="dynamic detector variant; under --store a flip re-uses the "
+        "cached capture stages and recomputes only detection onward",
     )
     study.add_argument(
         "--trace-out",

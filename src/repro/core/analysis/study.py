@@ -413,6 +413,11 @@ class Study:
             across jobs).  Used when compatible with this study's
             configuration, ignored otherwise; never shut down by this
             study.  Results are identical with or without it.
+        detector: the dynamic pipeline's detector variant
+            (``full`` / ``no-tls13`` / ``naive``) — the ``detect``
+            stage's config knob, so under a result store a flip
+            invalidates only detection and its downstream while the
+            capture stages warm-start.
     """
 
     def __init__(
@@ -423,6 +428,7 @@ class Study:
         fault_predicate=None,
         workers: Optional[Union[int, str]] = None,
         pool=None,
+        detector: str = "full",
     ):
         self.corpus = corpus
         if plan is None and workers is not None:
@@ -430,7 +436,10 @@ class Study:
         self.plan = plan or ExecutionPlan()
         self.sleep_s = sleep_s
         self.dynamic_pipeline = DynamicPipeline(
-            corpus, sleep_s=sleep_s, fault_predicate=fault_predicate
+            corpus,
+            sleep_s=sleep_s,
+            fault_predicate=fault_predicate,
+            detector=detector,
         )
         self.static_pipeline = StaticPipeline(
             corpus.registry.ctlog, fault_predicate=fault_predicate

@@ -9,7 +9,7 @@ stacks keep their pins.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, FrozenSet, Optional, Set
 
 from repro.core.circumvent.hooks import is_hookable
 from repro.device.base import Device
@@ -37,14 +37,30 @@ class InstrumentationOutcome:
 
 
 class FridaSession:
-    """One attach-and-hook session against one app process."""
+    """One attach-and-hook session against one app process.
 
-    def __init__(self, device: Device):
+    Args:
+        device: the target device (jailbreak required on iOS).
+        hook_set: restrict hooking to these library names; ``None``
+            loads the full hook catalogue.  The circumvention pipeline's
+            ablation knob: a library outside the set keeps its pins even
+            when a catalogue script exists for it.
+    """
+
+    def __init__(
+        self, device: Device, hook_set: Optional[FrozenSet[str]] = None
+    ):
         if device.platform == "ios" and not device.jailbroken:
             raise InstrumentationError(
                 "Frida needs a jailbroken iOS device to attach"
             )
         self.device = device
+        self.hook_set = hook_set
+
+    def _hookable(self, library: str, platform: str) -> bool:
+        if self.hook_set is not None and library not in self.hook_set:
+            return False
+        return is_hookable(library, platform)
 
     def instrument(self, policy: CompositePolicy) -> InstrumentationOutcome:
         """Disable every hookable pinning check in the app's policy.
@@ -59,7 +75,7 @@ class FridaSession:
         resistant: Set[str] = set()
 
         for domain, override in policy.overrides.items():
-            if is_hookable(override.library, platform):
+            if self._hookable(override.library, platform):
                 overrides[domain] = TrustAllPolicy(library=override.library)
                 if override.is_pinning():
                     bypassed.add(domain)
@@ -68,7 +84,7 @@ class FridaSession:
                 if override.is_pinning():
                     resistant.add(domain)
 
-        if is_hookable(policy.default.library, platform):
+        if self._hookable(policy.default.library, platform):
             default = TrustAllPolicy(library=policy.default.library)
         else:
             default = policy.default

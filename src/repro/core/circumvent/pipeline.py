@@ -5,17 +5,23 @@ hookable check, and repeat the MITM experiment.  Traffic to bypassed
 pinned destinations decrypts; traffic to resistant (custom-TLS) pinned
 destinations still fails — the paper's ~51.5 % / ~66.2 % per-destination
 success rates are an emergent property of the mechanism mix.
+
+The per-app flow is the declarative :data:`CIRCUMVENT_GRAPH` stage graph
+(DESIGN.md §15): hook_inject → hooked_run → verdict.  The pinned set is
+a per-app parameter consumed only by the final (non-persisted) verdict
+stage, so a detector flip that changes an app's pinned set still reuses
+its cached hooked capture — the expensive stage keys on the hook set and
+the run knobs alone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import FrozenSet, Iterable, List, Optional, Set
 
-from repro.core import obs
 from repro.core.circumvent.frida import FridaSession
 from repro.core.dynamic.pipeline import DynamicAppResult, DynamicPipeline
-from repro.core.exec.faults import maybe_inject
+from repro.core.pipeline import Artifact, Stage, StageGraph
 from repro.device.automation import RunConfig
 from repro.netsim.capture import TrafficCapture
 
@@ -48,6 +54,84 @@ class CircumventionResult:
         ]
 
 
+def _hook_inject(ctx, a):
+    device = ctx._device_for(a["platform"])
+    session = FridaSession(device, hook_set=ctx.hook_set)
+    return session.instrument(
+        a["packaged"].app.runtime_policy(device.system_store)
+    )
+
+
+def _hooked_run(ctx, a):
+    harness = ctx.dynamic._harnesses[a["platform"]]
+    return harness.run_app(
+        a["packaged"],
+        RunConfig(
+            mitm=True,
+            sleep_s=ctx.sleep_s,
+            transient_failure_prob=ctx.transient_failure_prob,
+            policy_override=a["hook_inject"].patched_policy,
+        ),
+    )
+
+
+def _verdict(ctx, a):
+    pinned = set(a["pinned"])
+    capture = a["hooked_run"]
+    # A destination counts as circumvented when its pinned traffic
+    # actually decrypted in the hooked run.
+    decrypted = {
+        f.sni for f in capture if f.plaintext_visible and f.sni in pinned
+    }
+    return CircumventionResult(
+        app_id=a["app_id"],
+        platform=a["platform"],
+        bypassed_destinations=decrypted,
+        resistant_destinations=pinned - decrypted,
+        hooked_capture=capture,
+    )
+
+
+CIRCUMVENT_GRAPH = StageGraph(
+    kind="circumvent",
+    seeds=(
+        Artifact("packaged", "the pinning app under instrumentation"),
+        Artifact("pinned", "its pinned destinations (per-app parameter)"),
+    ),
+    stages=(
+        Stage(
+            name="hook_inject",
+            fn=_hook_inject,
+            config=("hook_set",),
+            cost_share=0.10,
+        ),
+        Stage(
+            name="hooked_run",
+            fn=_hooked_run,
+            inputs=("hook_inject",),
+            config=("sleep_s", "transient_failure_prob"),
+            cost_share=0.80,
+            persist=True,
+            derive=lambda r: r.hooked_capture,
+        ),
+        Stage(
+            name="verdict",
+            fn=_verdict,
+            inputs=("hooked_run",),
+            config=("@pinned",),
+            cost_share=0.10,
+            span=False,
+        ),
+    ),
+    defaults={
+        "hook_set": None,
+        "sleep_s": 30.0,
+        "transient_failure_prob": 0.015,
+    },
+    params_from_extra=lambda extra: {"pinned": tuple(sorted(extra))},
+)
+
+
 class CircumventionPipeline:
     """Runs hook-and-recapture over dynamic results.
 
@@ -55,12 +139,33 @@ class CircumventionPipeline:
         dynamic: the dynamic pipeline whose devices/harnesses to reuse.
         fault_predicate: injectable per-app failure hook (see
             :mod:`repro.core.exec.faults`).
+        hook_set: restrict Frida hooking to these library names
+            (``None`` = the full catalogue); the stage graph's
+            circumvention ablation knob.
     """
 
-    def __init__(self, dynamic: DynamicPipeline, fault_predicate=None):
+    graph = CIRCUMVENT_GRAPH
+
+    def __init__(
+        self,
+        dynamic: DynamicPipeline,
+        fault_predicate=None,
+        hook_set: Optional[Iterable[str]] = None,
+    ):
         self.dynamic = dynamic
         self.corpus = dynamic.corpus
         self.fault_predicate = fault_predicate
+        self.hook_set: Optional[FrozenSet[str]] = (
+            None if hook_set is None else frozenset(hook_set)
+        )
+
+    @property
+    def sleep_s(self) -> float:
+        return self.dynamic.sleep_s
+
+    @property
+    def transient_failure_prob(self) -> float:
+        return self.dynamic.transient_failure_prob
 
     def _device_for(self, platform: str):
         return (
@@ -80,7 +185,7 @@ class CircumventionPipeline:
         return self.circumvent_app_pins(packaged, result.pinned_destinations)
 
     def circumvent_app_pins(
-        self, packaged, pinned: Set[str]
+        self, packaged, pinned: Set[str], cache=None, dataset=None
     ) -> Optional[CircumventionResult]:
         """Like :meth:`circumvent_app`, from a bare pinned-destination set.
 
@@ -90,49 +195,13 @@ class CircumventionPipeline:
         """
         if not pinned:
             return None
-        app = packaged.app
-        maybe_inject(self.fault_predicate, "circumvent", app.app_id)
-        with obs.span(
-            "circumvent.app",
-            cat="circumvent",
-            app=app.app_id,
-            platform=app.platform,
-        ):
-            device = self._device_for(app.platform)
-            with obs.span("circumvent.hook_inject", cat="circumvent"):
-                session = FridaSession(device)
-                outcome = session.instrument(
-                    app.runtime_policy(device.system_store)
-                )
-
-            harness = self.dynamic._harnesses[app.platform]
-            with obs.span("circumvent.hooked_run", cat="circumvent"):
-                capture = harness.run_app(
-                    packaged,
-                    RunConfig(
-                        mitm=True,
-                        sleep_s=self.dynamic.sleep_s,
-                        transient_failure_prob=(
-                            self.dynamic.transient_failure_prob
-                        ),
-                        policy_override=outcome.patched_policy,
-                    ),
-                )
-
-            # A destination counts as circumvented when its pinned traffic
-            # actually decrypted in the hooked run.
-            decrypted = {
-                f.sni
-                for f in capture
-                if f.plaintext_visible and f.sni in pinned
-            }
-            return CircumventionResult(
-                app_id=app.app_id,
-                platform=app.platform,
-                bypassed_destinations=decrypted,
-                resistant_destinations=pinned - decrypted,
-                hooked_capture=capture,
-            )
+        return CIRCUMVENT_GRAPH.run(
+            self,
+            packaged,
+            params={"pinned": tuple(sorted(pinned))},
+            cache=cache,
+            dataset=dataset,
+        )
 
     def circumvent_dataset(
         self, packaged_apps: List, results: List[DynamicAppResult]

@@ -21,6 +21,12 @@ from repro.core.dynamic.classify import connection_failed, connection_used
 from repro.netsim.capture import TrafficCapture
 from repro.servers.parties import registrable_domain
 
+#: Detector variants selectable as a pipeline config knob.  ``full`` is
+#: the paper's differential detector; the other two are the Section 5
+#: ablations (the sweep's ``detector`` axis selects among the same
+#: names).
+DETECTOR_VARIANTS = ("full", "no-tls13", "naive")
+
 
 @dataclass
 class DestinationVerdict:
@@ -117,6 +123,54 @@ def detect_pinned_destinations(
         verdict.pinned = verdict.used_direct and verdict.mitm_all_failed
         verdicts[destination] = verdict
     return verdicts
+
+
+def detect_verdicts(
+    direct: TrafficCapture,
+    intercepted: TrafficCapture,
+    excluded_domains: Iterable[str] = (),
+    detector: str = "full",
+) -> Dict[str, DestinationVerdict]:
+    """Run one named detector variant over an app's captures.
+
+    The single entry point the dynamic stage graph's ``detect`` stage
+    calls, keyed by the ``detector`` config knob.  ``full`` and
+    ``no-tls13`` are the differential detector with and without the
+    TLS 1.3 heuristics.  ``naive`` keeps the full detector's verdict
+    universe (so downstream consumers see the same destinations and
+    exclusion markings) but overwrites ``pinned`` with the
+    any-MITM-failure flag — exactly the rewrite the sweep's detector
+    ablation applies.
+    """
+    if detector == "full":
+        return detect_pinned_destinations(
+            direct, intercepted, excluded_domains
+        )
+    if detector == "no-tls13":
+        return detect_pinned_destinations(
+            direct, intercepted, excluded_domains, tls13_heuristics=False
+        )
+    if detector == "naive":
+        flagged = naive_detect_pinned_destinations(
+            intercepted, excluded_domains
+        )
+        verdicts = detect_pinned_destinations(
+            direct, intercepted, excluded_domains
+        )
+        return {
+            destination: DestinationVerdict(
+                destination=destination,
+                used_direct=verdict.used_direct,
+                mitm_observed=verdict.mitm_observed,
+                mitm_all_failed=verdict.mitm_all_failed,
+                pinned=destination in flagged,
+                excluded=verdict.excluded,
+            )
+            for destination, verdict in verdicts.items()
+        }
+    raise ValueError(
+        f"unknown detector {detector!r}; expected one of {DETECTOR_VARIANTS}"
+    )
 
 
 def naive_detect_pinned_destinations(

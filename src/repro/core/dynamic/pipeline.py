@@ -4,6 +4,14 @@ One shared proxy and one device per platform; each app runs twice
 (baseline and interception) through the automation harness, then the
 differential detector produces per-destination verdicts.
 
+The per-app flow is the declarative :data:`DYNAMIC_GRAPH` stage graph
+(DESIGN.md §15): run_direct → run_mitm → exclusions → detect → result,
+with per-stage telemetry, fault points, and content-addressed stage
+fingerprints derived from the declaration.  The install-to-launch wait
+and the interaction flag are per-app parameters (``@wait`` / ``@interact``
+config knobs), so the Common-iOS re-run keys differently from the
+first pass.
+
 The Common-iOS re-run (Section 4.5) is available via
 :meth:`DynamicPipeline.run_dataset` with ``rerun_ios_wait=True``: after an
 initial pass, apps found pinning are re-measured with a two-minute
@@ -17,13 +25,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
 from repro.appmodel.ios import IOSApp
-from repro.core import obs
 from repro.core.dynamic.background import ios_excluded_destinations
 from repro.core.dynamic.detector import (
+    DETECTOR_VARIANTS,
     DestinationVerdict,
-    detect_pinned_destinations,
+    detect_verdicts,
 )
-from repro.core.exec.faults import maybe_inject
+from repro.core.pipeline import Artifact, Stage, StageGraph
 from repro.corpus.datasets import AppCorpus
 from repro.device.android import AndroidDevice
 from repro.device.automation import AutomationHarness, RunConfig
@@ -47,7 +55,20 @@ class DynamicAppResult:
 
     @property
     def pinned_destinations(self) -> Set[str]:
-        return {d for d, v in self.verdicts.items() if v.pinned}
+        """Destinations detected pinning, excluded ones filtered.
+
+        The detector never marks an excluded destination pinned (its
+        verdict short-circuits before the differential), so the
+        ``not v.excluded`` guard changes no output today — it exists for
+        symmetry with :attr:`not_pinned_destinations`, which applies the
+        same filter, and protects the invariant against future verdict
+        sources that might set both flags.
+        """
+        return {
+            d
+            for d, v in self.verdicts.items()
+            if v.pinned and not v.excluded
+        }
 
     @property
     def not_pinned_destinations(self) -> Set[str]:
@@ -63,8 +84,140 @@ class DynamicAppResult:
         return bool(self.pinned_destinations)
 
 
+def _run_config(ctx, a, mitm: bool) -> RunConfig:
+    return RunConfig(
+        mitm=mitm,
+        sleep_s=ctx.sleep_s,
+        pre_launch_wait_s=a["wait"],
+        transient_failure_prob=ctx.transient_failure_prob,
+        interact=a["interact"],
+    )
+
+
+def _run_direct(ctx, a):
+    harness = ctx._harnesses[a["platform"]]
+    return harness.run_app(a["packaged"], _run_config(ctx, a, mitm=False))
+
+
+def _run_mitm(ctx, a):
+    harness = ctx._harnesses[a["platform"]]
+    return harness.run_app(a["packaged"], _run_config(ctx, a, mitm=True))
+
+
+def _exclusions(ctx, a):
+    packaged = a["packaged"]
+    if a["wait"] >= 120.0 and isinstance(packaged, IOSApp):
+        # The re-run methodology: verification traffic finished before
+        # the capture, so only the Apple domains need excluding.
+        from repro.device.ios import APPLE_BACKGROUND_DOMAINS
+
+        return set(APPLE_BACKGROUND_DOMAINS)
+    return ctx._exclusions_for(packaged)
+
+
+def _detect(ctx, a):
+    return detect_verdicts(
+        a["run_direct"], a["run_mitm"], a["exclusions"], detector=ctx.detector
+    )
+
+
+def _result(ctx, a):
+    return DynamicAppResult(
+        app_id=a["app_id"],
+        platform=a["platform"],
+        verdicts=a["detect"],
+        direct_capture=a["run_direct"],
+        mitm_capture=a["run_mitm"],
+        excluded_destinations=a["exclusions"],
+        reran_with_wait=a["wait"] >= 120.0,
+    )
+
+
+DYNAMIC_GRAPH = StageGraph(
+    kind="dynamic",
+    seeds=(
+        Artifact("packaged", "the packaged app under test"),
+        Artifact("wait", "install-to-launch delay (per-app parameter)"),
+        Artifact("interact", "drive the UI during runs (per-app parameter)"),
+    ),
+    stages=(
+        Stage(
+            name="run_direct",
+            fn=_run_direct,
+            config=(
+                "sleep_s",
+                "transient_failure_prob",
+                "@wait",
+                "@interact",
+            ),
+            cost_share=0.45,
+            persist=True,
+            derive=lambda r: r.direct_capture,
+        ),
+        Stage(
+            name="run_mitm",
+            fn=_run_mitm,
+            config=(
+                "sleep_s",
+                "transient_failure_prob",
+                "@wait",
+                "@interact",
+            ),
+            cost_share=0.45,
+            persist=True,
+            derive=lambda r: r.mitm_capture,
+        ),
+        Stage(
+            name="exclusions",
+            fn=_exclusions,
+            config=("@wait",),
+            cost_share=0.01,
+            persist=True,
+            derive=lambda r: r.excluded_destinations,
+            span=False,
+        ),
+        Stage(
+            name="detect",
+            fn=_detect,
+            inputs=("run_direct", "run_mitm", "exclusions"),
+            config=("detector",),
+            cost_share=0.09,
+            persist=True,
+            derive=lambda r: r.verdicts,
+        ),
+        Stage(
+            name="result",
+            fn=_result,
+            inputs=("run_direct", "run_mitm", "exclusions", "detect"),
+            span=False,
+        ),
+    ),
+    defaults={
+        "sleep_s": 30.0,
+        "transient_failure_prob": 0.015,
+        "detector": "full",
+    },
+    params_from_extra=lambda extra: {
+        "wait": float(extra or 0.0),
+        "interact": False,
+    },
+)
+
+
 class DynamicPipeline:
-    """Runs the two-setting experiment over corpus datasets."""
+    """Runs the two-setting experiment over corpus datasets.
+
+    Args:
+        corpus: the app corpus (devices/proxy are seeded from it).
+        sleep_s: capture window per run.
+        transient_failure_prob: simulated per-connection flakiness.
+        fault_predicate: injectable per-app failure hook.
+        detector: which :data:`DETECTOR_VARIANTS` member the ``detect``
+            stage runs; the stage-graph config knob behind the sweep's
+            detector axis.
+    """
+
+    graph = DYNAMIC_GRAPH
 
     def __init__(
         self,
@@ -72,11 +225,18 @@ class DynamicPipeline:
         sleep_s: float = 30.0,
         transient_failure_prob: float = 0.015,
         fault_predicate=None,
+        detector: str = "full",
     ):
+        if detector not in DETECTOR_VARIANTS:
+            raise ValueError(
+                f"unknown detector {detector!r}; expected one of "
+                f"{DETECTOR_VARIANTS}"
+            )
         self.corpus = corpus
         self.sleep_s = sleep_s
         self.transient_failure_prob = transient_failure_prob
         self.fault_predicate = fault_predicate
+        self.detector = detector
         rng = DeterministicRng(corpus.seed).child("dynamic")
         self.proxy = MITMProxy(rng.child("proxy"))
         self.android_device = AndroidDevice(
@@ -125,6 +285,8 @@ class DynamicPipeline:
         packaged,
         pre_launch_wait_s: float = 0.0,
         interact: bool = False,
+        cache=None,
+        dataset=None,
     ) -> DynamicAppResult:
         """Run one app in both settings and detect pinned destinations.
 
@@ -135,53 +297,19 @@ class DynamicPipeline:
             interact: drive the UI so interaction-gated destinations fire
                 (the §5.7 future-work variant; the paper's runs use
                 False).
+            cache / dataset: stage-granular result store and dataset
+                name; warm stages are served from the store.
         """
-        app = packaged.app
-        maybe_inject(self.fault_predicate, "dynamic", app.app_id)
-        with obs.span(
-            "dynamic.app", cat="dynamic", app=app.app_id, platform=app.platform
-        ):
-            harness = self._harnesses[app.platform]
-            base = RunConfig(
-                mitm=False,
-                sleep_s=self.sleep_s,
-                pre_launch_wait_s=pre_launch_wait_s,
-                transient_failure_prob=self.transient_failure_prob,
-                interact=interact,
-            )
-            mitm = RunConfig(
-                mitm=True,
-                sleep_s=self.sleep_s,
-                pre_launch_wait_s=pre_launch_wait_s,
-                transient_failure_prob=self.transient_failure_prob,
-                interact=interact,
-            )
-            with obs.span("dynamic.run_direct", cat="dynamic"):
-                direct = harness.run_app(packaged, base)
-            with obs.span("dynamic.run_mitm", cat="dynamic"):
-                intercepted = harness.run_app(packaged, mitm)
-            if pre_launch_wait_s >= 120.0 and isinstance(packaged, IOSApp):
-                # The re-run methodology: verification traffic finished
-                # before the capture, so only the Apple domains need
-                # excluding.
-                from repro.device.ios import APPLE_BACKGROUND_DOMAINS
-
-                excluded: Set[str] = set(APPLE_BACKGROUND_DOMAINS)
-            else:
-                excluded = self._exclusions_for(packaged)
-            with obs.span("dynamic.detect", cat="dynamic"):
-                verdicts = detect_pinned_destinations(
-                    direct, intercepted, excluded
-                )
-            return DynamicAppResult(
-                app_id=app.app_id,
-                platform=app.platform,
-                verdicts=verdicts,
-                direct_capture=direct,
-                mitm_capture=intercepted,
-                excluded_destinations=excluded,
-                reran_with_wait=pre_launch_wait_s >= 120.0,
-            )
+        return DYNAMIC_GRAPH.run(
+            self,
+            packaged,
+            params={
+                "wait": float(pre_launch_wait_s),
+                "interact": bool(interact),
+            },
+            cache=cache,
+            dataset=dataset,
+        )
 
     def run_dataset(
         self,

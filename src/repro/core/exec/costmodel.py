@@ -75,6 +75,30 @@ def app_cost_s(kind: str) -> float:
     return APP_COST_S.get(kind, DEFAULT_APP_COST_S)
 
 
+def stage_costs(kind: str) -> dict:
+    """Modeled per-app compute seconds per stage of one kind's graph.
+
+    Derived from the stage graph's declared ``cost_share`` split of the
+    kind's :data:`APP_COST_S` entry (shares sum to 1, so the stage costs
+    sum back to :func:`app_cost_s`).  Chunking and the parallel/serial
+    call stay keyed on the per-kind totals — stage costs size the value
+    of a *partial* recomputation, e.g. what a warm upstream artifact
+    saves.  Empty for kinds without a registered graph.
+    """
+    from repro.core.pipeline import graph_for
+
+    graph = graph_for(kind)
+    if graph is None:
+        return {}
+    total = app_cost_s(kind)
+    return {stage.name: stage.cost_share * total for stage in graph.stages}
+
+
+def stage_cost_s(kind: str, stage: str) -> float:
+    """Modeled compute seconds for one stage of one app (0 if unknown)."""
+    return stage_costs(kind).get(stage, 0.0)
+
+
 def chunk_size(kind: Optional[str], n_items: int, workers: int) -> int:
     """Apps per unit for ``n_items`` apps of one kind over ``workers``.
 

@@ -76,6 +76,14 @@ a code-version salt — a warm run recomputes only fingerprint misses and
 still merges to bit-for-bit the same study as a cold run, at any worker
 count.  The checkpoint journal remains the intra-run safety net (scoped
 to one run configuration); the store is the cross-run memo.
+
+Stage-granular recomputation (DESIGN.md §15): a unit that misses at the
+app level may still have warm *stage* artifacts on disk (a config flip
+invalidated only the downstream suffix of its stage graph).  The engine
+probes for those and runs such units in the parent process with the
+stage cache attached — pool workers have no store handle, so partial
+recomputation is parent-side by construction — while fully cold units
+still ship to the pool.
 """
 
 from __future__ import annotations
@@ -125,14 +133,63 @@ class ExecutionOutcome:
         return [item for unit in self.unit_results for item in unit]
 
 
+#: The pipeline constructor knobs worker processes rebuild with when the
+#: parent ships no overrides — one entry per stage-graph config knob that
+#: is not already threaded separately (``sleep_s``, fault predicate).
+DEFAULT_PIPELINE_CONFIG = {
+    "static": {"jailbroken_device_available": True, "include_native": True},
+    "dynamic": {"transient_failure_prob": 0.015, "detector": "full"},
+    "circumvent": {"hook_set": None},
+}
+
+
+def _pipeline_config(pipelines: Optional[tuple]) -> dict:
+    """The per-kind constructor kwargs mirroring the parent pipelines.
+
+    Shipped to pool workers so their rebuilt pipelines carry the same
+    config knobs (detector variant, native-scan ablation, hook set) as
+    the parent's — worker results must be a function of the *study's*
+    configuration, not the constructor defaults.
+    """
+    if pipelines is None:
+        return {}
+    static, dynamic, circumvent = pipelines
+    config: dict = {}
+    if static is not None:
+        config["static"] = {
+            "jailbroken_device_available": static.jailbroken_device_available,
+            "include_native": static.include_native,
+        }
+    if dynamic is not None:
+        config["dynamic"] = {
+            "transient_failure_prob": dynamic.transient_failure_prob,
+            "detector": dynamic.detector,
+        }
+    if circumvent is not None:
+        config["circumvent"] = {"hook_set": circumvent.hook_set}
+    return config
+
+
+def _config_is_default(config: dict) -> bool:
+    """Whether a pipeline config matches the worker-rebuild defaults."""
+    return all(
+        config.get(kind, defaults) == defaults
+        for kind, defaults in DEFAULT_PIPELINE_CONFIG.items()
+    )
+
+
 def _build_state(
-    corpus, sleep_s: float, fault_predicate: Optional[FaultPredicate] = None
+    corpus,
+    sleep_s: float,
+    fault_predicate: Optional[FaultPredicate] = None,
+    config: Optional[dict] = None,
 ) -> dict:
     """Process-local execution state; pipelines are built on first use."""
     return {
         "corpus": corpus,
         "sleep_s": sleep_s,
         "faults": fault_predicate,
+        "config": config or {},
         "static": None,
         "dynamic": None,
         "circumvent": None,
@@ -144,7 +201,9 @@ def _static_pipeline(state: dict):
         from repro.core.static.pipeline import StaticPipeline
 
         state["static"] = StaticPipeline(
-            state["corpus"].registry.ctlog, fault_predicate=state["faults"]
+            state["corpus"].registry.ctlog,
+            fault_predicate=state["faults"],
+            **state["config"].get("static", {}),
         )
     return state["static"]
 
@@ -157,6 +216,7 @@ def _dynamic_pipeline(state: dict):
             state["corpus"],
             sleep_s=state["sleep_s"],
             fault_predicate=state["faults"],
+            **state["config"].get("dynamic", {}),
         )
     return state["dynamic"]
 
@@ -166,33 +226,52 @@ def _circumvention_pipeline(state: dict):
         from repro.core.circumvent.pipeline import CircumventionPipeline
 
         state["circumvent"] = CircumventionPipeline(
-            _dynamic_pipeline(state), fault_predicate=state["faults"]
+            _dynamic_pipeline(state),
+            fault_predicate=state["faults"],
+            **state["config"].get("circumvent", {}),
         )
     return state["circumvent"]
 
 
-def _run_unit(state: dict, unit: WorkUnit) -> list:
-    """Execute one unit against process-local state."""
+def _run_unit(state: dict, unit: WorkUnit, cache=None) -> list:
+    """Execute one unit against process-local state.
+
+    ``cache`` is an optional stage-granular result store; with one, the
+    pipelines' stage graphs serve warm stages from it and publish
+    computed ones back (parent-process runs only — workers never hold a
+    store handle).
+    """
     kind, platform, dataset, indices, extra = unit
     apps = state["corpus"].dataset(platform, dataset)
     if kind == "static":
         pipeline = _static_pipeline(state)
-        return [pipeline.analyze_app(apps[i]) for i in indices]
+        return [
+            pipeline.analyze_app(apps[i], cache=cache, dataset=dataset)
+            for i in indices
+        ]
     if kind == "dynamic":
         pipeline = _dynamic_pipeline(state)
         return [
-            pipeline.run_app(apps[i], pre_launch_wait_s=extra) for i in indices
+            pipeline.run_app(
+                apps[i],
+                pre_launch_wait_s=extra,
+                cache=cache,
+                dataset=dataset,
+            )
+            for i in indices
         ]
     if kind == "circumvent":
         pipeline = _circumvention_pipeline(state)
         return [
-            pipeline.circumvent_app_pins(apps[i], set(pins))
+            pipeline.circumvent_app_pins(
+                apps[i], set(pins), cache=cache, dataset=dataset
+            )
             for i, pins in zip(indices, extra)
         ]
     raise ValueError(f"unknown work-unit kind: {kind!r}")
 
 
-def _run_unit_timed(state: dict, unit: WorkUnit) -> list:
+def _run_unit_timed(state: dict, unit: WorkUnit, cache=None) -> list:
     """Execute one unit inside a top-level telemetry span.
 
     The span is a no-op when no recorder is active in this process; with
@@ -207,7 +286,7 @@ def _run_unit_timed(state: dict, unit: WorkUnit) -> list:
         dataset=dataset,
         apps=len(indices),
     ):
-        return _run_unit(state, unit)
+        return _run_unit(state, unit, cache=cache)
 
 
 # -- worker bootstrap --------------------------------------------------------
@@ -295,6 +374,7 @@ def _init_worker(
     sleep_s: float,
     fault_predicate: Optional[FaultPredicate],
     telemetry: bool = False,
+    config: Optional[dict] = None,
 ) -> None:
     """Pool initializer: resolve the corpus once per worker process.
 
@@ -307,7 +387,7 @@ def _init_worker(
         _WORKER_RECORDER = obs.Recorder().install()
     watch = obs.Stopwatch()
     corpus, how = bootstrap.resolve()
-    _WORKER_STATE = _build_state(corpus, sleep_s, fault_predicate)
+    _WORKER_STATE = _build_state(corpus, sleep_s, fault_predicate, config)
     obs.observe("exec.worker.init_s", watch.elapsed())
     obs.count(f"exec.bootstrap.{how}")
 
@@ -414,14 +494,18 @@ class WarmPool:
         sleep_s: float,
         fault_predicate: Optional[FaultPredicate],
         telemetry: bool,
+        config: Optional[dict] = None,
     ) -> bool:
         """Whether an engine with this configuration may run on the pool.
 
         Everything baked into worker state at init must match: the
         corpus (by fingerprint — same fingerprint, same object graph),
         the capture window, telemetry mode (it selects the worker entry
-        point and result envelope), and the absence of a fault
-        predicate.
+        point and result envelope), the absence of a fault predicate,
+        and default pipeline config knobs (warm-pool workers are built
+        with :data:`DEFAULT_PIPELINE_CONFIG`; an engine carrying a
+        non-default detector, hook set or scan ablation gets its own
+        pool).
         """
         if self._executor is None:
             return False
@@ -429,6 +513,7 @@ class WarmPool:
             fault_predicate is None
             and float(sleep_s) == self.sleep_s
             and bool(telemetry) == self.telemetry
+            and _config_is_default(config or {})
             and (
                 corpus is self.corpus
                 or corpus_fingerprint(corpus) == self.fingerprint
@@ -510,7 +595,10 @@ class ExecutionEngine:
         self.fault_predicate = fault_predicate
         self.recorder = recorder
         self.store = store
-        self._state = _build_state(corpus, sleep_s, fault_predicate)
+        self._config = _pipeline_config(pipelines)
+        self._state = _build_state(
+            corpus, sleep_s, fault_predicate, self._config
+        )
         if pipelines is not None:
             static, dynamic, circumvent = pipelines
             self._state["static"] = static
@@ -563,6 +651,7 @@ class ExecutionEngine:
                 self.sleep_s,
                 self.fault_predicate,
                 self.recorder is not None,
+                config=self._config,
             )
         )
 
@@ -597,6 +686,7 @@ class ExecutionEngine:
                     self.sleep_s,
                     self.fault_predicate,
                     self.recorder is not None,
+                    self._config,
                 ),
             )
             self._pool_is_shared = False
@@ -661,12 +751,12 @@ class ExecutionEngine:
         self.recorder.count("exec.ipc.bytes_in", len(pickle.dumps(encoded)))
         return self._rehydrate(encoded)
 
-    def _run_local(self, unit: WorkUnit) -> list:
+    def _run_local(self, unit: WorkUnit, cache=None) -> list:
         """Run one unit in-process (the serial scheduler), instrumented."""
         if self.recorder is None:
-            return _run_unit(self._state, unit)
+            return _run_unit(self._state, unit, cache=cache)
         watch = obs.Stopwatch()
-        result = _run_unit_timed(self._state, unit)
+        result = _run_unit_timed(self._state, unit, cache=cache)
         self.recorder.observe("exec.unit_compute_s", watch.elapsed())
         return result
 
@@ -835,6 +925,15 @@ class ExecutionEngine:
         the pool is released.
         """
         units = list(units)
+        if self.store is not None:
+            # Stage keys must resolve config knobs from the live pipeline
+            # configuration, not the graph defaults — bind before any
+            # lookup computes a fingerprint.
+            self.store.bind_pipelines(
+                static=_static_pipeline(self._state),
+                dynamic=_dynamic_pipeline(self._state),
+                circumvent=_circumvention_pipeline(self._state),
+            )
         unit_results: List[Optional[list]] = [None] * len(units)
         failures: List[UnitFailure] = []
         pending: List[Tuple[int, WorkUnit]] = []
@@ -860,7 +959,31 @@ class ExecutionEngine:
                 pending.append((position, unit))
 
         use_pool = self._use_pool([unit for _, unit in pending])
+        partial: List[Tuple[int, WorkUnit]] = []
+        if use_pool and self.store is not None:
+            # Units with warm stage artifacts recompute partially in the
+            # parent (workers have no store handle); fully cold units
+            # still ship to the pool.
+            partial = [
+                (position, unit)
+                for position, unit in pending
+                if self.store.probe_unit_stages(unit)
+            ]
+            if partial:
+                warm = {position for position, _ in partial}
+                pending = [
+                    (position, unit)
+                    for position, unit in pending
+                    if position not in warm
+                ]
+                self._count("store.units.partial", len(partial))
+                if not pending:
+                    use_pool = False
         try:
+            for position, unit in partial:
+                unit_results[position] = self._run_with_recovery(
+                    unit, failures, checkpoint, use_pool=False
+                )
             if not use_pool:
                 for position, unit in pending:
                     unit_results[position] = self._run_with_recovery(
@@ -927,7 +1050,7 @@ class ExecutionEngine:
         just to retry one unit.
         """
         if not use_pool:
-            return self._run_local(unit)
+            return self._run_local(unit, cache=self.store)
         return self._collect(self._submit(self._ensure_pool(), unit))
 
     def _retry(

@@ -86,8 +86,10 @@ _VERSION = 1
 
 #: Code/schema version salt.  Bump on any change to pipeline semantics or
 #: result dataclass schemas: old entries stop hitting instead of feeding
-#: stale results into a new checkout.
-CODE_SALT = "pin-study-results-v1"
+#: stale results into a new checkout.  v2: stage-graph fingerprints —
+#: app-level keys are now the final stage's chain key, so every config
+#: knob (not just sleep/wait/pins) enters the address.
+CODE_SALT = "pin-study-results-v2"
 
 #: What unpickling/validating a *damaged* entry can raise.  Truncated or
 #: bit-rotted pickle streams surface as :class:`pickle.UnpicklingError`,
@@ -194,6 +196,9 @@ class StoreStats:
     unit_misses: int = 0
     app_hits: int = 0
     app_misses: int = 0
+    stage_hits: int = 0
+    stage_misses: int = 0
+    stage_published: int = 0
     published: int = 0
     invalidated: int = 0
 
@@ -202,13 +207,26 @@ class StoreStats:
         total = self.unit_hits + self.unit_misses
         return self.unit_hits / total if total else 0.0
 
+    @property
+    def stage_hit_rate(self) -> float:
+        total = self.stage_hits + self.stage_misses
+        return self.stage_hits / total if total else 0.0
+
     def describe(self) -> str:
-        return (
+        out = (
             f"{self.unit_hits} unit hit(s) / {self.unit_misses} miss(es) "
             f"(hit rate {self.unit_hit_rate:.1%}), "
             f"{self.published} entr(ies) published, "
             f"{self.invalidated} invalidated"
         )
+        if self.stage_hits or self.stage_misses or self.stage_published:
+            out += (
+                f"; {self.stage_hits} stage hit(s) / "
+                f"{self.stage_misses} miss(es) "
+                f"(hit rate {self.stage_hit_rate:.1%}), "
+                f"{self.stage_published} stage entr(ies) published"
+            )
+        return out
 
 
 class ResultStore:
@@ -241,6 +259,12 @@ class ResultStore:
         self.read = bool(read)
         self.write = bool(write)
         self.stats = StoreStats()
+        # Pipeline objects per kind, bound by the engine so stage keys
+        # resolve config knobs from the live configuration.  Unbound,
+        # knobs resolve to the graphs' declared defaults (with the
+        # handle's sleep window overriding the dynamic default), which
+        # matches a default-configured study.
+        self._knobs: dict = {}
 
     # -- layout ------------------------------------------------------------
 
@@ -259,18 +283,69 @@ class ResultStore:
                 json.dump(manifest, fh, indent=1, sort_keys=True)
                 fh.write("\n")
 
-    def fingerprint_for(
-        self, stage: str, platform: str, dataset: str, app_id: str, extra
-    ) -> str:
-        return app_fingerprint(
+    # -- stage graphs ------------------------------------------------------
+
+    def bind_pipelines(
+        self, static=None, dynamic=None, circumvent=None
+    ) -> None:
+        """Attach the live pipeline objects config knobs resolve from.
+
+        The engine binds its pipelines at run entry; thereafter every
+        fingerprint reflects the actual configuration (``include_native``,
+        detector variant, hook set, …) instead of the graph defaults.
+        """
+        for kind, pipeline in (
+            ("static", static),
+            ("dynamic", dynamic),
+            ("circumvent", circumvent),
+        ):
+            if pipeline is not None:
+                self._knobs[kind] = pipeline
+
+    @staticmethod
+    def _graph(kind: str):
+        from repro.core.pipeline import graph_for
+
+        return graph_for(kind)
+
+    def _stage_keys(
+        self, graph, platform: str, dataset: str, app_id: str, extra
+    ) -> dict:
+        knobs = self._knobs.get(graph.kind)
+        overrides = None if knobs is not None else {"sleep_s": self.sleep_s}
+        return graph.stage_keys(
             self.corpus_fp,
-            self.sleep_s,
-            stage,
             platform,
             dataset,
             app_id,
-            extra,
+            params=graph.params_from_extra(extra),
+            knobs=knobs,
+            overrides=overrides,
         )
+
+    def fingerprint_for(
+        self, stage: str, platform: str, dataset: str, app_id: str, extra
+    ) -> str:
+        """The content address of one app's result for one stage config.
+
+        For kinds with a registered stage graph this is the final
+        stage's chain key — every upstream config knob and artifact
+        fingerprint enters it; otherwise the flat legacy fingerprint.
+        """
+        graph = self._graph(stage)
+        if graph is None:
+            return app_fingerprint(
+                self.corpus_fp,
+                self.sleep_s,
+                stage,
+                platform,
+                dataset,
+                app_id,
+                extra,
+            )
+        return self._stage_keys(graph, platform, dataset, app_id, extra)[
+            graph.final
+        ]
 
     # -- per-app access ----------------------------------------------------
 
@@ -366,6 +441,7 @@ class ResultStore:
         self._ensure_layout()
         path.parent.mkdir(parents=True, exist_ok=True)
         meta = {
+            "entry_kind": "app",
             "stage": stage,
             "platform": platform,
             "dataset": dataset,
@@ -376,7 +452,14 @@ class ResultStore:
             "salt": CODE_SALT,
             "summary": summarize_result(result),
         }
-        payload_blob = pickle.dumps(result)
+        self._write_entry(path, fingerprint, meta, result)
+        self.stats.published += 1
+        obs.count("store.apps.published")
+
+    def _write_entry(
+        self, path: Path, fingerprint: str, meta: dict, payload
+    ) -> None:
+        payload_blob = pickle.dumps(payload)
         envelope = (
             _ENTRY_MAGIC,
             _VERSION,
@@ -389,8 +472,71 @@ class ResultStore:
         with open(tmp, "wb") as fh:
             pickle.dump(envelope, fh)
         os.replace(tmp, path)
-        self.stats.published += 1
-        obs.count("store.apps.published")
+
+    # -- per-stage access (the stage graphs' interface) --------------------
+
+    def lookup_stage(self, fingerprint: str, kind: str, stage: str, miss=None):
+        """The stored artifact for one stage fingerprint, or ``miss``.
+
+        The ``miss`` sentinel distinguishes absence from stored values;
+        corruption invalidates the entry and reads as a miss, same as
+        the app-level contract.
+        """
+        if not self.read:
+            return miss
+        path = self.entry_path(fingerprint)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self._count_stage(kind, stage, hit=False)
+            return miss
+        payload = self._decode_entry(blob, fingerprint, path)
+        if payload is None:
+            self._count_stage(kind, stage, hit=False)
+            return miss
+        self._count_stage(kind, stage, hit=True)
+        return payload
+
+    def _count_stage(self, kind: str, stage: str, hit: bool) -> None:
+        if hit:
+            self.stats.stage_hits += 1
+            obs.count("store.stages.hit")
+            obs.count(f"store.stage.{kind}.{stage}.hit")
+        else:
+            self.stats.stage_misses += 1
+            obs.count("store.stages.miss")
+            obs.count(f"store.stage.{kind}.{stage}.miss")
+
+    def publish_stage(
+        self,
+        fingerprint: str,
+        kind: str,
+        stage: str,
+        platform: str,
+        dataset: str,
+        app_id: str,
+        value,
+    ) -> None:
+        """File one stage artifact under its chain key (atomic, idempotent)."""
+        if not self.write:
+            return
+        path = self.entry_path(fingerprint)
+        if path.exists():
+            return
+        self._ensure_layout()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "entry_kind": "stage",
+            "stage": f"{kind}.{stage}",
+            "platform": platform,
+            "dataset": dataset,
+            "app_id": app_id,
+            "corpus": self.corpus_fp,
+            "salt": CODE_SALT,
+        }
+        self._write_entry(path, fingerprint, meta, value)
+        self.stats.stage_published += 1
+        obs.count("store.stages.published")
 
     # -- unit-level access (the engine's interface) ------------------------
 
@@ -431,21 +577,73 @@ class ResultStore:
         obs.count("store.units.hit")
         return results
 
+    def probe_unit_stages(self, unit) -> bool:
+        """Whether any app of this unit has warm *stage* artifacts.
+
+        The engine's partial-recomputation probe: a unit that missed at
+        the app level but has persisted upstream stages on disk is worth
+        running locally through the stage cache instead of shipping to a
+        cache-less pool worker.
+        """
+        if not self.read:
+            return False
+        kind, platform, dataset, _indices, _extra = unit
+        graph = self._graph(kind)
+        if graph is None:
+            return False
+        for app_id, app_extra in self._unit_apps(unit):
+            keys = self._stage_keys(graph, platform, dataset, app_id, app_extra)
+            for stage in graph.stages:
+                if stage.persist and self.entry_path(
+                    keys[stage.name]
+                ).exists():
+                    return True
+        return False
+
     def publish_unit(self, unit, results: list) -> None:
         """File one completed unit's results, one entry per app.
 
         Only a complete unit is publishable: a quarantined unit whose
         survivors were merged around abandoned apps no longer aligns
         with its index list (its solo re-runs published themselves).
+
+        Stage artifacts recoverable from a result (the graph's
+        ``derive`` extractors) are published alongside, so future runs
+        with a flipped downstream knob can warm-start mid-graph even
+        when the cold run computed units in cache-less pool workers.
         """
         if not self.write:
             return
         kind, platform, dataset, indices, _extra = unit
         if len(results) != len(indices):
             return
+        graph = self._graph(kind)
         for (app_id, app_extra), result in zip(
             self._unit_apps(unit), results
         ):
             self.publish_app(
                 kind, platform, dataset, app_id, app_extra, result
             )
+            if graph is None or result is None:
+                continue
+            keys = self._stage_keys(graph, platform, dataset, app_id, app_extra)
+            for stage in graph.stages:
+                if stage.persist and stage.derive is not None:
+                    try:
+                        artifact = stage.derive(result)
+                    except (AttributeError, TypeError):
+                        # A result that cannot supply this stage's
+                        # artifact (a foreign or test result type) is
+                        # still a valid app-level entry; backfilling
+                        # stage entries is best-effort — a future run
+                        # simply recomputes that stage cold.
+                        continue
+                    self.publish_stage(
+                        keys[stage.name],
+                        kind,
+                        stage.name,
+                        platform,
+                        dataset,
+                        app_id,
+                        artifact,
+                    )

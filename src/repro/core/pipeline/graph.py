@@ -1,0 +1,402 @@
+"""Typed ``Stage``/``Artifact``/``StageGraph`` abstraction (DESIGN.md §15).
+
+A pipeline is a linear dataflow graph: each :class:`Stage` consumes the
+artifacts of earlier stages (plus the graph's seed artifacts and per-app
+parameters), produces exactly one named artifact, and declares the
+configuration knobs its output is a function of.  The declaration is the
+single source of truth for everything the monolithic pipelines used to
+hand-place:
+
+* **Telemetry** — every computing stage runs under an
+  ``obs.span(f"{kind}.{stage}")`` and bumps a
+  ``pipeline.{kind}.{stage}.computed`` counter; the graph itself owns
+  the per-app ``{kind}.app`` span.
+* **Fault injection** — the graph fires the per-app ``maybe_inject``
+  with the legacy phase name (``static`` / ``dynamic`` / ``circumvent``)
+  before any work, and a derived per-stage point
+  (``{kind}.{stage}``) before each stage.  The default
+  :class:`~repro.core.exec.faults.SeededFaults` phase set does not
+  include stage-level phases, so per-stage injection is opt-in.
+* **Content addressing** — :meth:`StageGraph.stage_keys` derives one
+  fingerprint per stage by hashing the stage's identity, its resolved
+  config knobs, and the fingerprints of its input stages (a
+  derivation-style chain).  Changing one knob therefore re-keys exactly
+  the declaring stage and everything downstream of it; the final stage's
+  key doubles as the app-level result fingerprint used by
+  :class:`~repro.core.exec.resultstore.ResultStore`.
+* **Cost modeling** — ``cost_share`` splits the kind's modeled per-app
+  cost (:mod:`repro.core.exec.costmodel`) across stages.
+
+Determinism: a stage function must be a pure function of its declared
+inputs, the seed artifacts, the per-app parameters, and the declared
+config knobs read off the pipeline object (``ctx``).  That is what makes
+serving one stage from the cache while recomputing another bit-for-bit
+equivalent to a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.core import obs
+from repro.core.exec.faults import maybe_inject
+
+#: Artifact names every graph run seeds before its first stage: the
+#: packaged app plus its identity.  Per-app parameters (the dynamic
+#: pre-launch wait, the circumvention pinned set) are merged alongside.
+SEED_ARTIFACTS = ("packaged", "app_id", "platform")
+
+#: Sentinel distinguishing "stage cache miss" from any stored value.
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """A named value flowing through a graph (a stage output or a seed).
+
+    Attributes:
+        name: how stages reference it in their ``inputs``.
+        doc: one-line description, for documentation and graph dumps.
+    """
+
+    name: str
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of a pipeline graph.
+
+    Attributes:
+        name: the stage id; also the name of the artifact it produces.
+        fn: ``fn(ctx, artifacts) -> value`` — the stage function.  ``ctx``
+            is the owning pipeline object (config knobs are read off it);
+            ``artifacts`` maps seed/parameter/earlier-stage names to
+            values.
+        inputs: names of earlier stages whose artifacts this stage
+            consumes.  Seeds and parameters are ambient (always
+            available) and must not be listed; they enter the stage key
+            through the app identity and ``config`` instead.
+        config: names of the configuration knobs the output depends on.
+            A plain name is read from ``ctx`` (``ctx.include_native``);
+            an ``@``-prefixed name is read from the per-app parameters
+            (``@wait``).  Knobs enter the stage's fingerprint, so
+            flipping one invalidates this stage and everything
+            downstream — and nothing upstream.
+        cost_share: this stage's share of the kind's modeled per-app
+            compute cost; shares across a graph sum to 1.
+        persist: whether a stage-granular result cache stores this
+            artifact.  The final stage must not persist — its value *is*
+            the app result, which the engine stores under the same key.
+        derive: optional extractor rebuilding this stage's artifact from
+            a finished app result (``derive(result) -> value``), used to
+            publish stage artifacts from results computed without a
+            cache attached and to re-derive downstream stages without
+            re-executing upstream ones.
+        span: whether computing this stage opens a telemetry span
+            (assembly-only stages match the monolithic pipelines by
+            omitting one).
+    """
+
+    name: str
+    fn: Callable[[object, dict], object]
+    inputs: Tuple[str, ...] = ()
+    config: Tuple[str, ...] = ()
+    cost_share: float = 0.0
+    persist: bool = False
+    derive: Optional[Callable[[object], object]] = None
+    span: bool = True
+
+
+_REGISTRY: Dict[str, "StageGraph"] = {}
+
+
+def _freeze(value):
+    """Canonicalize a knob value for the fingerprint identity string."""
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(value))
+    return value
+
+
+class StageGraph:
+    """A validated, registered pipeline graph.
+
+    Args:
+        kind: the work-unit kind this graph executes (``static`` /
+            ``dynamic`` / ``circumvent``); registers the graph under it.
+        seeds: the :class:`Artifact` values the caller supplies (beyond
+            the implicit :data:`SEED_ARTIFACTS`), documentation-grade.
+        stages: the stages in execution order; the last stage's value is
+            the graph's result.
+        defaults: default value per ``ctx`` config knob — what an
+            unbound :class:`~repro.core.exec.resultstore.ResultStore`
+            resolves knobs to when no pipeline is attached.  Must mirror
+            the pipeline constructor's defaults (asserted in tests).
+        params_from_extra: maps a work unit's per-app ``extra`` to the
+            parameter dict a run of this graph receives (``@`` knobs are
+            resolved against it).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        stages: Tuple[Stage, ...],
+        defaults: Mapping[str, object],
+        seeds: Tuple[Artifact, ...] = (),
+        params_from_extra: Optional[Callable[[object], dict]] = None,
+    ):
+        self.kind = kind
+        self.stages = tuple(stages)
+        self.seeds = tuple(seeds)
+        self.defaults = dict(defaults)
+        self._params_from_extra = params_from_extra or (lambda extra: {})
+        self._validate()
+        self.final = self.stages[-1].name
+        _REGISTRY[kind] = self
+
+    def _validate(self) -> None:
+        if not self.stages:
+            raise ValueError(f"{self.kind}: a stage graph needs stages")
+        seen: set = set()
+        reserved = set(SEED_ARTIFACTS) | {a.name for a in self.seeds}
+        for stage in self.stages:
+            if stage.name in seen or stage.name in reserved:
+                raise ValueError(
+                    f"{self.kind}: duplicate or reserved stage name "
+                    f"{stage.name!r}"
+                )
+            for name in stage.inputs:
+                if name not in seen:
+                    raise ValueError(
+                        f"{self.kind}.{stage.name}: input {name!r} is not "
+                        "an earlier stage (seeds and parameters are "
+                        "ambient and must not be declared as inputs)"
+                    )
+            for knob in stage.config:
+                if not knob.startswith("@") and knob not in self.defaults:
+                    raise ValueError(
+                        f"{self.kind}.{stage.name}: config knob {knob!r} "
+                        "has no declared default"
+                    )
+            if not 0.0 <= stage.cost_share <= 1.0:
+                raise ValueError(
+                    f"{self.kind}.{stage.name}: cost_share out of [0, 1]"
+                )
+            seen.add(stage.name)
+        if self.stages[-1].persist:
+            raise ValueError(
+                f"{self.kind}: the final stage must not persist — its value "
+                "is the app result the engine stores under the same key"
+            )
+        total = sum(stage.cost_share for stage in self.stages)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"{self.kind}: stage cost shares sum to {total}, expected 1"
+            )
+
+    # -- fingerprints ------------------------------------------------------
+
+    def params_from_extra(self, extra) -> dict:
+        """The parameter dict for a work unit's per-app ``extra``."""
+        return self._params_from_extra(extra)
+
+    def _resolve_knob(
+        self,
+        name: str,
+        params: Mapping[str, object],
+        knobs: Optional[object],
+        overrides: Optional[Mapping[str, object]],
+    ):
+        if name.startswith("@"):
+            return params[name[1:]]
+        if knobs is not None:
+            return getattr(knobs, name)
+        if overrides is not None and name in overrides:
+            return overrides[name]
+        return self.defaults[name]
+
+    def stage_keys(
+        self,
+        corpus_fp: str,
+        platform: str,
+        dataset: str,
+        app_id: str,
+        params: Optional[Mapping[str, object]] = None,
+        knobs: Optional[object] = None,
+        overrides: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, str]:
+        """One content-address per stage, chained through the graph.
+
+        Each key hashes the store schema version and code salt, the
+        corpus fingerprint, the app identity, the stage's resolved
+        config knobs, and the keys of its input stages — so a knob flip
+        re-keys the declaring stage and its transitive downstream, and
+        nothing else.  ``knobs`` is the pipeline object to read plain
+        config names from; without one, ``overrides`` then
+        :attr:`defaults` resolve them (the unbound-store path).
+        """
+        from repro.core.exec.resultstore import CODE_SALT, _VERSION
+
+        params = params or {}
+        keys: Dict[str, str] = {}
+        for stage in self.stages:
+            config = tuple(
+                (name, _freeze(self._resolve_knob(name, params, knobs, overrides)))
+                for name in stage.config
+            )
+            identity = repr(
+                (
+                    _VERSION,
+                    CODE_SALT,
+                    "stage",
+                    corpus_fp,
+                    self.kind,
+                    stage.name,
+                    platform,
+                    dataset,
+                    app_id,
+                    config,
+                    tuple(keys[name] for name in stage.inputs),
+                )
+            )
+            keys[stage.name] = hashlib.sha256(
+                identity.encode("utf-8")
+            ).hexdigest()
+        return keys
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        ctx,
+        packaged,
+        params: Optional[Mapping[str, object]] = None,
+        cache=None,
+        dataset: Optional[str] = None,
+    ):
+        """Execute the graph for one app; returns the final stage's value.
+
+        With a ``cache`` (a :class:`~repro.core.exec.resultstore.ResultStore`)
+        and a ``dataset`` name, every persisted stage is looked up before
+        computing and published after — a warm stage is served bit-for-bit
+        from the store and its stage function (and telemetry span) is
+        skipped, which is what turns a config flip into a partial
+        recomputation of only the invalidated suffix of the graph.
+        """
+        params = dict(params or {})
+        app = packaged.app
+        fault_predicate = getattr(ctx, "fault_predicate", None)
+        maybe_inject(fault_predicate, self.kind, app.app_id)
+        with obs.span(
+            f"{self.kind}.app",
+            cat=self.kind,
+            app=app.app_id,
+            platform=app.platform,
+        ):
+            artifacts = dict(params)
+            artifacts["packaged"] = packaged
+            artifacts["app_id"] = app.app_id
+            artifacts["platform"] = app.platform
+            keys = None
+            if cache is not None and dataset is not None:
+                keys = self.stage_keys(
+                    cache.corpus_fp,
+                    app.platform,
+                    dataset,
+                    app.app_id,
+                    params=params,
+                    knobs=ctx,
+                )
+            for stage in self.stages:
+                maybe_inject(
+                    fault_predicate, f"{self.kind}.{stage.name}", app.app_id
+                )
+                value = _MISS
+                if keys is not None and stage.persist:
+                    value = cache.lookup_stage(
+                        keys[stage.name], self.kind, stage.name, miss=_MISS
+                    )
+                if value is _MISS:
+                    if stage.span:
+                        with obs.span(
+                            f"{self.kind}.{stage.name}", cat=self.kind
+                        ):
+                            value = stage.fn(ctx, artifacts)
+                    else:
+                        value = stage.fn(ctx, artifacts)
+                    obs.count(f"pipeline.{self.kind}.{stage.name}.computed")
+                    if keys is not None and stage.persist:
+                        cache.publish_stage(
+                            keys[stage.name],
+                            self.kind,
+                            stage.name,
+                            app.platform,
+                            dataset,
+                            app.app_id,
+                            value,
+                        )
+                artifacts[stage.name] = value
+            return artifacts[self.final]
+
+    def rederive(
+        self,
+        ctx,
+        seeds: Mapping[str, object],
+        result,
+        dirty,
+        params: Optional[Mapping[str, object]] = None,
+    ):
+        """Recompute only the ``dirty`` stages (and their downstream) of a
+        finished result, rebuilding clean upstream artifacts from their
+        ``derive`` extractors.
+
+        This is the analysis-side generalization of stage-graph
+        invalidation: the sweep's detector ablation marks ``detect``
+        dirty and re-derives a result from its stored captures without
+        touching a device harness.  No telemetry spans and no fault
+        injection — re-derivation is pure analysis, exactly like the
+        bespoke re-detection path it replaces.  A clean stage without an
+        extractor is recomputed (its artifact cannot be recovered from
+        the result).
+        """
+        params = dict(params or {})
+        artifacts = dict(params)
+        artifacts.update(seeds)
+        dirty = set(dirty)
+        recomputed = set(dirty)
+        for stage in self.stages:
+            stale = stage.name in dirty or any(
+                name in recomputed for name in stage.inputs
+            )
+            if not stale and stage.derive is not None:
+                artifacts[stage.name] = stage.derive(result)
+                continue
+            artifacts[stage.name] = stage.fn(ctx, artifacts)
+            recomputed.add(stage.name)
+        return artifacts[self.final]
+
+
+def graph_kinds() -> Tuple[str, ...]:
+    """Registered graph kinds (loads the built-in pipelines)."""
+    _load_builtin_graphs()
+    return tuple(sorted(_REGISTRY))
+
+
+def graph_for(kind: str) -> Optional[StageGraph]:
+    """The registered graph for one work-unit kind, or None.
+
+    Lazily imports the built-in pipeline modules so callers that only
+    hold a kind string (the result store, the cost model) see their
+    graphs without importing the pipelines at module load.
+    """
+    if kind not in _REGISTRY:
+        _load_builtin_graphs()
+    return _REGISTRY.get(kind)
+
+
+def _load_builtin_graphs() -> None:
+    import repro.core.circumvent.pipeline  # noqa: F401
+    import repro.core.dynamic.pipeline  # noqa: F401
+    import repro.core.static.pipeline  # noqa: F401

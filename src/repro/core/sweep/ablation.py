@@ -7,6 +7,14 @@ re-derivation of the verdict map — which is exactly what makes ablated
 sweep points free under a shared result store (they reuse every cached
 pipeline unit of their full-detector sibling and only re-detect).
 
+Since PR 10 this is ordinary stage-graph invalidation
+(DESIGN.md §15): the dynamic graph's ``rederive`` walk marks the
+``detect`` stage dirty, rebuilds its clean upstream artifacts (captures,
+exclusions) from the finished result via the stages' ``derive``
+extractors, and recomputes only the dirty suffix — the same invalidation
+semantics a ``--detector`` flip triggers through the result store,
+applied in-memory.
+
 Scope: an ablation rewrites the *detection-derived* views of a study —
 per-destination verdicts, and with them prevalence, consistency and
 detector scoring.  Circumvention and PII comparisons were measured
@@ -17,59 +25,31 @@ defeating the warm-start contract (DESIGN.md §13 records this scope).
 
 from __future__ import annotations
 
+from types import SimpleNamespace
 from typing import Dict, List
 
 from repro.core import obs
 from repro.core.analysis.study import StudyResults
-from repro.core.dynamic.detector import (
-    DestinationVerdict,
-    detect_pinned_destinations,
-    naive_detect_pinned_destinations,
-)
-from repro.core.dynamic.pipeline import DynamicAppResult
+from repro.core.dynamic.pipeline import DYNAMIC_GRAPH, DynamicAppResult
 from repro.core.sweep.spec import DETECTORS
 from repro.corpus.datasets import DatasetKey
 
 
 def _redetect(result: DynamicAppResult, detector: str) -> DynamicAppResult:
     """One app's result under an ablated detector (captures unchanged)."""
-    if detector == "no-tls13":
-        verdicts = detect_pinned_destinations(
-            result.direct_capture,
-            result.mitm_capture,
-            result.excluded_destinations,
-            tls13_heuristics=False,
-        )
-    else:  # "naive"
-        flagged = naive_detect_pinned_destinations(
-            result.mitm_capture, result.excluded_destinations
-        )
-        # The naive detector returns a bare set; rebuild a verdict map
-        # over the same destination universe the differential detector
-        # reports so downstream not-pinned accounting stays comparable.
-        full = detect_pinned_destinations(
-            result.direct_capture,
-            result.mitm_capture,
-            result.excluded_destinations,
-        )
-        verdicts = {}
-        for destination, verdict in full.items():
-            verdicts[destination] = DestinationVerdict(
-                destination=destination,
-                used_direct=verdict.used_direct,
-                mitm_observed=verdict.mitm_observed,
-                mitm_all_failed=verdict.mitm_all_failed,
-                pinned=destination in flagged,
-                excluded=verdict.excluded,
-            )
-    return DynamicAppResult(
-        app_id=result.app_id,
-        platform=result.platform,
-        verdicts=verdicts,
-        direct_capture=result.direct_capture,
-        mitm_capture=result.mitm_capture,
-        excluded_destinations=result.excluded_destinations,
-        reran_with_wait=result.reran_with_wait,
+    return DYNAMIC_GRAPH.rederive(
+        SimpleNamespace(detector=detector),
+        seeds={
+            "packaged": None,
+            "app_id": result.app_id,
+            "platform": result.platform,
+        },
+        result=result,
+        dirty={"detect"},
+        params={
+            "wait": 120.0 if result.reran_with_wait else 0.0,
+            "interact": False,
+        },
     )
 
 

@@ -223,6 +223,34 @@ def _check_static_membership(results) -> Iterator[Violation]:
 
 
 @rule(
+    "static-decryption-tool",
+    "every static report names the tool that produced its file tree, "
+    "valid for its platform",
+)
+def _check_static_decryption_tool(results) -> Iterator[Violation]:
+    valid = {
+        "android": {"apktool-sim"},
+        "ios": {"flexdecrypt", "frida-ios-dump"},
+    }
+    for key in sorted(results.static_reports):
+        for report in results.static_reports[key]:
+            tool = report.decryption_tool
+            if not tool:
+                yield _v(
+                    "static-decryption-tool",
+                    f"{key}",
+                    f"app {report.app_id!r} carries an empty tool field",
+                )
+            elif tool not in valid.get(report.platform, set()):
+                yield _v(
+                    "static-decryption-tool",
+                    f"{key}",
+                    f"app {report.app_id!r} reports tool {tool!r}, not a "
+                    f"known {report.platform} tool",
+                )
+
+
+@rule(
     "ledger-exclusion",
     "every corpus app is measured or ledgered, and apps are only missing "
     "from aggregates the ledger says failed",

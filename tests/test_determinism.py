@@ -88,3 +88,23 @@ class TestStudyExtensionsAPI:
         for score in scores.values():
             assert score.precision == 1.0
             assert score.recall == 1.0
+
+
+class TestGoldenOutput:
+    def test_study_stdout_matches_checked_in_fixture(self):
+        """The rendered study at the CLI defaults (seed 2022, scale 0.02)
+        matches the checked-in golden fixture byte for byte — the guard
+        that refactors which must not change results (stage graphs,
+        store plumbing, pool boundaries) actually did not."""
+        from pathlib import Path
+
+        from repro.reporting.render import render_study_stdout
+
+        corpus = CorpusGenerator(
+            CorpusConfig(seed=2022).scaled(0.02)
+        ).generate()
+        rendered = render_study_stdout(Study(corpus).run())
+        golden = (
+            Path(__file__).parent / "data" / "study_scale002_golden.txt"
+        )
+        assert rendered == golden.read_text()

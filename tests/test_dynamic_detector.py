@@ -174,3 +174,113 @@ class TestDynamicPipeline:
         packaged = small_corpus.dataset("ios", "popular")[0]
         result = dynamic_pipeline.run_app(packaged, pre_launch_wait_s=120.0)
         assert result.reran_with_wait
+
+
+class TestDetectorVariants:
+    """The named-variant entry point behind the ``detector`` config knob."""
+
+    def _captures(self):
+        direct = TrafficCapture(
+            [flow("pin.com", used=True), flow("ok.com", used=True)]
+        )
+        mitm = TrafficCapture(
+            [
+                flow("pin.com", used=False, teardown=TEARDOWN_RST),
+                flow("ok.com", used=True),
+            ]
+        )
+        return direct, mitm
+
+    def test_full_is_the_differential_detector(self):
+        from repro.core.dynamic.detector import detect_verdicts
+
+        direct, mitm = self._captures()
+        assert detect_verdicts(direct, mitm) == detect_pinned_destinations(
+            direct, mitm
+        )
+
+    def test_no_tls13_drops_the_heuristics(self):
+        from repro.core.dynamic.detector import detect_verdicts
+
+        direct, mitm = self._captures()
+        assert detect_verdicts(
+            direct, mitm, detector="no-tls13"
+        ) == detect_pinned_destinations(direct, mitm, tls13_heuristics=False)
+
+    def test_naive_keeps_the_full_verdict_universe(self):
+        from repro.core.dynamic.detector import detect_verdicts
+
+        direct, mitm = self._captures()
+        naive = detect_verdicts(direct, mitm, detector="naive")
+        full = detect_pinned_destinations(direct, mitm)
+        assert set(naive) == set(full)
+        flagged = naive_detect_pinned_destinations(mitm)
+        for destination, verdict in naive.items():
+            assert verdict.pinned == (destination in flagged)
+
+    def test_unknown_variant_rejected(self):
+        from repro.core.dynamic.detector import detect_verdicts
+
+        with pytest.raises(ValueError, match="unknown detector"):
+            detect_verdicts(
+                TrafficCapture(), TrafficCapture(), detector="bogus"
+            )
+
+    def test_pipeline_rejects_unknown_variant(self, small_corpus):
+        with pytest.raises(ValueError, match="unknown detector"):
+            DynamicPipeline(small_corpus, detector="bogus")
+
+
+class TestResultExclusionSymmetry:
+    """``pinned_destinations`` and ``not_pinned_destinations`` apply the
+    same ``excluded`` filter — a verdict marked both pinned and excluded
+    must not count (regression for the former asymmetry, where only the
+    not-pinned side filtered)."""
+
+    def _result(self, verdicts):
+        from repro.core.dynamic.pipeline import DynamicAppResult
+
+        return DynamicAppResult(
+            app_id="app", platform="ios", verdicts=verdicts
+        )
+
+    def test_excluded_pinned_verdict_is_filtered(self):
+        from repro.core.dynamic.detector import DestinationVerdict
+
+        result = self._result(
+            {
+                "pin.com": DestinationVerdict("pin.com", pinned=True),
+                "bg.apple.com": DestinationVerdict(
+                    "bg.apple.com", pinned=True, excluded=True
+                ),
+                "plain.com": DestinationVerdict("plain.com"),
+            }
+        )
+        assert result.pinned_destinations == {"pin.com"}
+        assert result.not_pinned_destinations == {"plain.com"}
+
+    def test_only_excluded_pins_means_app_does_not_pin(self):
+        from repro.core.dynamic.detector import DestinationVerdict
+
+        result = self._result(
+            {
+                "bg.apple.com": DestinationVerdict(
+                    "bg.apple.com", pinned=True, excluded=True
+                )
+            }
+        )
+        assert not result.pins()
+
+    def test_detector_never_emits_excluded_pinned(self):
+        # The detector's own output keeps the invariant the property
+        # guards: an excluded destination short-circuits before the
+        # differential and is never marked pinned.
+        direct = TrafficCapture([flow("bg.apple.com", used=True)])
+        mitm = TrafficCapture(
+            [flow("bg.apple.com", used=False, teardown=TEARDOWN_RST)]
+        )
+        verdicts = detect_pinned_destinations(
+            direct, mitm, excluded_domains={"bg.apple.com"}
+        )
+        verdict = verdicts["bg.apple.com"]
+        assert verdict.excluded and not verdict.pinned

@@ -40,6 +40,19 @@ class TestStaticPipeline:
         report = pipeline.analyze_app(small_corpus.dataset("ios", "popular")[0])
         assert report.decryption_tool == "flexdecrypt"
 
+    def test_android_reports_record_decompiler_sentinel(
+        self, small_corpus, pipeline
+    ):
+        # Android needs no decryption, but the tool field must never be
+        # empty — the audit catalogue's static-decryption-tool rule
+        # asserts provenance on every report row.
+        from repro.core.static.pipeline import ANDROID_DECOMPILER
+
+        report = pipeline.analyze_app(
+            small_corpus.dataset("android", "popular")[0]
+        )
+        assert report.decryption_tool == ANDROID_DECOMPILER == "apktool-sim"
+
     def test_pin_strings_resolvable_for_default_pki(self, small_corpus, pipeline):
         # At least some statically found pins resolve through CT, and
         # custom-PKI pins never do.

@@ -275,3 +275,34 @@ def test_study_digest_is_stable_and_sensitive(study_results):
     corrupted = fresh_results(study_results)
     corrupted.dynamic_results[("android", "random")].pop()
     assert study_digest(corrupted) != baseline
+
+
+def _replace_static_report(results, key, mutate):
+    """Deep-copy one dataset's first static report, apply ``mutate``,
+    and return fresh results containing it."""
+    out = fresh_results(results)
+    reports = out.static_reports[key]
+    mutated = copy.deepcopy(reports[0])
+    mutate(mutated)
+    reports[0] = mutated
+    return out
+
+
+def test_static_decryption_tool_trips_on_empty_tool(study_results):
+    def blank_tool(report):
+        report.decryption_tool = ""
+
+    corrupted = _replace_static_report(
+        study_results, ("android", "common"), blank_tool
+    )
+    assert "static-decryption-tool" in violated(corrupted)
+
+
+def test_static_decryption_tool_trips_on_foreign_tool(study_results):
+    def android_tool_on_ios(report):
+        report.decryption_tool = "apktool-sim"
+
+    corrupted = _replace_static_report(
+        study_results, ("ios", "common"), android_tool_on_ios
+    )
+    assert "static-decryption-tool" in violated(corrupted)

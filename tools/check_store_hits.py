@@ -5,6 +5,8 @@ Usage::
 
     python tools/check_store_hits.py METRICS_JSON --min-hit-rate 0.95
     python tools/check_store_hits.py METRICS_JSON --expect-no-hits
+    python tools/check_store_hits.py METRICS_JSON \\
+        --stage-cold dynamic.detect --min-stage-hit-rate 0.95
 
 Reads the flat metrics JSON written by ``repro study --metrics-out`` and
 checks the ``store.units.hit`` / ``store.units.miss`` counters.  CI uses
@@ -12,6 +14,14 @@ this twice: a warm re-run must hit at least ``--min-hit-rate`` of its
 units (the incremental contract: <5 % of units re-executed), and a
 configuration-perturbed run must hit **none** (the invalidation
 contract: changed fingerprints never serve stale results).
+
+Stage-level flags extend the contract to partial recomputation
+(DESIGN.md §15): ``--stage-cold KIND.STAGE`` asserts the named stage
+recorded zero hits and at least one miss (the config flip invalidated
+it), and ``--min-stage-hit-rate`` bounds the hit rate over the
+``store.stage.*`` per-stage counters — with every ``--stage-cold`` stage
+excluded from the aggregate, so a flip re-run must serve essentially all
+*other* stages from the store.
 
 Stdlib-only.  Exit status: 0 when the invariant holds, 1 when it does
 not, 2 on malformed input.
@@ -22,6 +32,20 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+
+def _stage_tallies(counters: dict) -> dict:
+    """``{kind.stage: [hits, misses]}`` from the per-stage counters."""
+    tallies: dict = {}
+    for name, value in counters.items():
+        if not name.startswith("store.stage."):
+            continue
+        stage, _, outcome = name[len("store.stage.") :].rpartition(".")
+        if outcome not in ("hit", "miss"):
+            continue
+        entry = tallies.setdefault(stage, [0.0, 0.0])
+        entry[0 if outcome == "hit" else 1] += float(value)
+    return tallies
 
 
 def main(argv=None):
@@ -38,15 +62,39 @@ def main(argv=None):
         action="store_true",
         help="fail when any unit hit was recorded (invalidation check)",
     )
+    parser.add_argument(
+        "--stage-cold",
+        action="append",
+        default=[],
+        metavar="KIND.STAGE",
+        help="assert this stage recorded zero hits and at least one miss "
+        "(repeatable); cold stages are excluded from --min-stage-hit-rate",
+    )
+    parser.add_argument(
+        "--min-stage-hit-rate",
+        type=float,
+        default=None,
+        help="fail when stage hits / (hits + misses) — over all stages "
+        "not named by --stage-cold — is below this",
+    )
     args = parser.parse_args(argv)
-    if args.min_hit_rate is None and not args.expect_no_hits:
-        parser.error("give --min-hit-rate and/or --expect-no-hits")
+    if (
+        args.min_hit_rate is None
+        and not args.expect_no_hits
+        and not args.stage_cold
+        and args.min_stage_hit_rate is None
+    ):
+        parser.error(
+            "give --min-hit-rate, --expect-no-hits, --stage-cold and/or "
+            "--min-stage-hit-rate"
+        )
 
     try:
         with open(args.metrics) as fh:
             counters = json.load(fh)["counters"]
         hits = float(counters.get("store.units.hit", 0))
         misses = float(counters.get("store.units.miss", 0))
+        stages = _stage_tallies(counters)
     except (OSError, ValueError, KeyError, TypeError) as exc:
         print(f"error: unreadable metrics file: {exc}", file=sys.stderr)
         return 2
@@ -75,6 +123,51 @@ def main(argv=None):
             print(
                 f"FAIL: hit rate {rate:.1%} below required "
                 f"{args.min_hit_rate:.1%}",
+                file=sys.stderr,
+            )
+            return 1
+
+    for stage in args.stage_cold:
+        stage_hits, stage_misses = stages.get(stage, (0.0, 0.0))
+        print(
+            f"stage {stage}: {stage_hits:g} hit(s), "
+            f"{stage_misses:g} miss(es)"
+        )
+        if stage_hits > 0:
+            print(
+                f"FAIL: stage {stage} expected cold, got "
+                f"{stage_hits:g} hit(s)",
+                file=sys.stderr,
+            )
+            return 1
+        if stage_misses == 0:
+            print(
+                f"FAIL: stage {stage} recorded no lookups — wrong stage "
+                "name, or the run never consulted the store",
+                file=sys.stderr,
+            )
+            return 1
+
+    if args.min_stage_hit_rate is not None:
+        cold = set(args.stage_cold)
+        warm_hits = sum(h for s, (h, _) in stages.items() if s not in cold)
+        warm_misses = sum(m for s, (_, m) in stages.items() if s not in cold)
+        warm_total = warm_hits + warm_misses
+        warm_rate = warm_hits / warm_total if warm_total else 0.0
+        print(
+            f"store stages (excluding cold): {warm_hits:g} hit(s), "
+            f"{warm_misses:g} miss(es) (hit rate {warm_rate:.1%})"
+        )
+        if warm_total == 0:
+            print(
+                "FAIL: no stage lookups recorded — was --store passed?",
+                file=sys.stderr,
+            )
+            return 1
+        if warm_rate < args.min_stage_hit_rate:
+            print(
+                f"FAIL: stage hit rate {warm_rate:.1%} below required "
+                f"{args.min_stage_hit_rate:.1%}",
                 file=sys.stderr,
             )
             return 1
